@@ -1,0 +1,18 @@
+"""Benchmark support: every bench prints the table it regenerates.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).  Heavy experiment benches use ``benchmark.pedantic`` with
+a single round: the quantity of interest is the regenerated table, the
+timing is informative only.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an experiment table under the benchmark's own banner."""
+    def _show(table_or_text):
+        print()
+        print(table_or_text)
+    return _show

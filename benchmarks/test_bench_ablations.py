@@ -1,0 +1,112 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* name-space size: |γ| = δ vs δ² (Section 4.1's trade-off: larger spaces
+  converge in fewer rounds, smaller spaces give lower DAG heights);
+* improvement rules in isolation: incumbent-only vs fusion-only vs both;
+* channel models: convergence cost of loss and contention vs ideal.
+"""
+
+from repro.experiments.common import get_preset
+from repro.experiments.mobility import run_mobility_trace
+from repro.graph.generators import uniform_topology
+from repro.metrics.tables import Table
+from repro.naming.dag import dag_height
+from repro.naming.namespace import NameSpace, recommended_size
+from repro.naming.renaming import PoliteRenaming
+from repro.protocols.stack import standard_stack
+from repro.runtime.channel import BernoulliLossChannel, IdealChannel, \
+    SlottedContentionChannel
+from repro.runtime.simulator import StepSimulator
+from repro.stabilization.monitor import steps_to_legitimacy
+from repro.stabilization.predicates import make_stack_predicate
+from repro.util.rng import spawn_rngs
+
+
+def _namespace_ablation():
+    table = Table(
+        title="Ablation: name-space size (rounds to build vs DAG height)",
+        headers=["|gamma|", "mean rounds", "mean DAG height"])
+    runs = 6
+    for exponent, label in ((1, "delta+2"), (2, "delta^2")):
+        rounds_total = 0.0
+        height_total = 0.0
+        for run_rng in spawn_rngs(2024 + exponent, runs):
+            topo = uniform_topology(400, 0.08, rng=run_rng)
+            size = recommended_size(topo.graph.max_degree(),
+                                    exponent=exponent)
+            result = PoliteRenaming(namespace=NameSpace(size)).run(
+                topo.graph, rng=run_rng, tie_ids=topo.ids)
+            rounds_total += result.rounds
+            height_total += dag_height(topo.graph, result.ids)
+        table.add_row([label, rounds_total / runs, height_total / runs])
+    return table
+
+
+def test_bench_ablation_namespace(benchmark, show):
+    table = benchmark.pedantic(_namespace_ablation, rounds=1, iterations=1)
+    show(table)
+    rounds = table.column("mean rounds")
+    heights = table.column("mean DAG height")
+    # delta^2 must not be slower than delta+2, and delta+2 must not be
+    # taller than delta^2 -- the two sides of the paper's trade-off.
+    assert rounds[1] <= rounds[0] + 0.5
+    assert heights[0] <= heights[1] + 1.0
+
+
+def _rules_ablation():
+    preset = get_preset("quick", mobility_nodes=300,
+                        mobility_duration=60.0)
+    configurations = {
+        "basic": {"order": "basic", "fusion": False},
+        "incumbent only": {"order": "incumbent", "fusion": False},
+        "fusion only": {"order": "basic", "fusion": True},
+        "both (paper improved)": {"order": "incumbent", "fusion": True},
+    }
+    outcome = run_mobility_trace("vehicular", preset, radius=0.1, rng=2024,
+                                 configurations=configurations)
+    table = Table(
+        title="Ablation: improvement rules in isolation (vehicular)",
+        headers=["configuration", "% heads retained / window"])
+    for name in configurations:
+        table.add_row([name, outcome.retention_percent[name]])
+    return table
+
+
+def test_bench_ablation_improvement_rules(benchmark, show):
+    table = benchmark.pedantic(_rules_ablation, rounds=1, iterations=1)
+    show(table)
+    retention = dict(zip(table.column("configuration"),
+                         table.column("% heads retained / window")))
+    assert retention["both (paper improved)"] >= retention["basic"] - 2.0
+
+
+def _channel_ablation():
+    table = Table(
+        title="Ablation: channel model vs stabilization steps (40 nodes)",
+        headers=["channel", "mean steps to legitimacy"])
+    channels = {
+        "ideal": lambda delta: IdealChannel(),
+        "bernoulli 20% loss": lambda delta: BernoulliLossChannel(0.2),
+        "slotted contention": lambda delta: SlottedContentionChannel(
+            4 * max(delta, 2)),
+    }
+    runs = 3
+    for name, factory in channels.items():
+        total = 0.0
+        for run_rng in spawn_rngs(hash(name) % 2**31, runs):
+            topo = uniform_topology(40, 0.25, rng=run_rng)
+            sim = StepSimulator(topo, standard_stack(topology=topo),
+                                channel=factory(topo.graph.max_degree()),
+                                rng=run_rng, cache_timeout=16)
+            report = steps_to_legitimacy(sim, make_stack_predicate(), 800)
+            total += report.steps if report.converged else 800.0
+        table.add_row([name, total / runs])
+    return table
+
+
+def test_bench_ablation_channels(benchmark, show):
+    table = benchmark.pedantic(_channel_ablation, rounds=1, iterations=1)
+    show(table)
+    steps = dict(zip(table.column("channel"),
+                     table.column("mean steps to legitimacy")))
+    assert steps["ideal"] <= steps["bernoulli 20% loss"]

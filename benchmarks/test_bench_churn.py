@@ -1,0 +1,18 @@
+"""Bench: recovery under node churn (the 'appear/disappear' premise)."""
+
+from repro.experiments.churn import run_churn_experiment
+
+
+def test_bench_churn(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_churn_experiment(initial_count=60, epochs=12, runs=2,
+                                     rng=2024),
+        rounds=1, iterations=1)
+    show(table)
+    ready = table.column("ready fraction %")
+    steps = table.column("mean recovery steps")
+    # Zero churn: trivially ready; moderate churn: still heals within the
+    # budget in (nearly) every epoch, in a handful of steps.
+    assert ready[0] == 100.0
+    assert all(value >= 80.0 for value in ready)
+    assert steps[0] <= steps[-1]

@@ -1,0 +1,36 @@
+"""Benches for the future-work extensions: hierarchy and energy.
+
+These back the claims recorded in EXPERIMENTS.md's extension section:
+hierarchical routing trades bounded stretch for order-of-magnitude
+routing-state savings, and energy-aware rotation extends the conservative
+network lifetime over the paper's incumbent rule.
+"""
+
+from repro.experiments.energy_lifetime import run_energy_lifetime
+from repro.experiments.scalability import run_scalability
+
+
+def test_bench_scalability(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_scalability(sizes=(200, 400, 800), pairs=30, rng=2024),
+        rounds=1, iterations=1)
+    show(table)
+    savings = table.column("savings x")
+    stretch = table.column("mean stretch")
+    assert all(value > 2.0 for value in savings)
+    assert all(value < 3.0 for value in stretch)
+    # The savings factor grows with network size: that's "scalability".
+    assert savings[-1] > savings[0]
+
+
+def test_bench_energy_lifetime(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_energy_lifetime(nodes=200, windows=120, runs=3,
+                                    rng=2024),
+        rounds=1, iterations=1)
+    show(table)
+    rows = {row[0]: row for row in table.rows}
+    # Rotation must extend time-to-first-death by a clear margin...
+    assert rows["energy-aware"][1] >= 1.5 * rows["static"][1]
+    # ...and it costs head changes (the stability/lifetime trade-off).
+    assert rows["energy-aware"][4] > rows["static"][4]

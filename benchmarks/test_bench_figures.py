@@ -1,0 +1,28 @@
+"""Bench: Figures 1-3 -- clustering renderings and their statistics."""
+
+from repro.experiments.figures import run_figure1, run_figure2, run_figure3
+
+
+def test_bench_figure1(benchmark, show):
+    result = benchmark(run_figure1)
+    show(result)
+    assert result.clustering.heads == {"h", "j"}
+
+
+def test_bench_figure2_grid_without_dag(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_figure2(nodes=1000, radius=0.05),
+        rounds=1, iterations=1)
+    show(result.name)
+    show(result.legend)
+    assert result.clustering.cluster_count <= 3
+
+
+def test_bench_figure3_grid_with_dag(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_figure3(nodes=1000, radius=0.05, rng=2024),
+        rounds=1, iterations=1)
+    show(result.name)
+    show(result.rendering)
+    show(result.legend)
+    assert result.clustering.cluster_count >= 20

@@ -1,0 +1,60 @@
+"""Microbenchmarks: the library's hot paths at paper scale (1000 nodes).
+
+These time individual substrate operations rather than regenerate paper
+tables; they guard against performance regressions that would make the
+``paper`` presets impractical.
+"""
+
+import pytest
+
+from repro.clustering.density import all_densities
+from repro.clustering.oracle import compute_clustering
+from repro.graph.generators import uniform_topology
+from repro.naming.renaming import PoliteRenaming
+from repro.protocols.stack import standard_stack
+from repro.runtime.simulator import StepSimulator
+
+
+@pytest.fixture(scope="module")
+def topo1000():
+    return uniform_topology(1000, 0.08, rng=2024)
+
+
+def test_bench_unit_disk_construction(benchmark):
+    benchmark(lambda: uniform_topology(1000, 0.08, rng=7))
+
+
+def test_bench_all_densities(benchmark, topo1000):
+    densities = benchmark(lambda: all_densities(topo1000.graph, exact=True))
+    assert len(densities) == len(topo1000.graph)
+
+
+def test_bench_oracle_basic(benchmark, topo1000):
+    clustering = benchmark(
+        lambda: compute_clustering(topo1000.graph, tie_ids=topo1000.ids))
+    assert clustering.cluster_count > 1
+
+
+def test_bench_oracle_fusion(benchmark, topo1000):
+    clustering = benchmark(
+        lambda: compute_clustering(topo1000.graph, tie_ids=topo1000.ids,
+                                   fusion=True))
+    assert clustering.cluster_count > 1
+
+
+def test_bench_polite_renaming(benchmark, topo1000):
+    import numpy as np
+
+    def run():
+        return PoliteRenaming().run(topo1000.graph,
+                                    rng=np.random.default_rng(1),
+                                    tie_ids=topo1000.ids)
+    result = benchmark(run)
+    assert result.stable
+
+
+def test_bench_protocol_step(benchmark):
+    topo = uniform_topology(300, 0.1, rng=5)
+    sim = StepSimulator(topo, standard_stack(topology=topo), rng=6)
+    sim.run(5)  # warm state
+    benchmark(sim.step)

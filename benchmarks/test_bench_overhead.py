@@ -1,0 +1,55 @@
+"""Bench: control overhead -- the paper's motivating quantity.
+
+Backs the claim that clustering maintenance traffic is what the density
+metric is designed to limit: reports re-affiliation churn per metric
+under mobility, the steady-state beacon cost per protocol configuration,
+and the Section 3 intensity sweep (head count falls with lambda for
+density, grows for degree).
+"""
+
+from repro.experiments.common import get_preset
+from repro.experiments.intensity_sweep import run_intensity_sweep
+from repro.experiments.overhead import run_beacon_cost, \
+    run_reaffiliation_churn
+
+
+def test_bench_reaffiliation_churn(benchmark, show):
+    preset = get_preset("quick", mobility_nodes=300,
+                        mobility_duration=60.0)
+    table = benchmark.pedantic(
+        lambda: run_reaffiliation_churn(preset, regime="pedestrian",
+                                        radius=0.1, rng=2024, runs=2),
+        rounds=1, iterations=1)
+    show(table)
+    churn = dict(zip(table.column("metric"),
+                     table.column("re-affiliations / window / 100 nodes")))
+    assert all(0.0 <= value <= 100.0 for value in churn.values())
+
+
+def test_bench_beacon_cost(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_beacon_cost(nodes=150, steps=30, rng=2024),
+        rounds=1, iterations=1)
+    show(table)
+    costs = dict(zip(table.column("configuration"),
+                     table.column("bytes / node / step")))
+    assert costs["DAG, fusion"] > costs["DAG, basic"] > \
+        costs["no DAG, basic"]
+
+
+def test_bench_intensity_sweep(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_intensity_sweep(intensities=(300, 600, 1000, 1500),
+                                    radius=0.1, runs=4, rng=2024),
+        rounds=1, iterations=1)
+    show(table)
+    density_heads = table.column("density heads")
+    degree_heads = table.column("degree heads")
+    # Section 3's claim and its foil.
+    assert density_heads[-1] < density_heads[0]
+    assert degree_heads[-1] > degree_heads[0]
+    # The stochastic analysis tracks the measurement.
+    measured = table.column("interior density")
+    predicted = table.column("predicted density")
+    for m, p in zip(measured[2:], predicted[2:]):
+        assert abs(m - p) / p < 0.12

@@ -1,0 +1,36 @@
+"""Bench: stabilization-time scaling and fault recovery (Thm 1, Lemma 2).
+
+The empirical counterpart of the analysis: without the DAG the
+adversarial grid stabilizes in time growing with the diameter; with the
+DAG the time flattens.  Recovery benches exercise the self-stabilization
+property per fault class.
+"""
+
+from repro.experiments.common import get_preset
+from repro.experiments.stabilization_time import (
+    run_recovery_experiment,
+    run_scaling_experiment,
+)
+
+
+def test_bench_stabilization_scaling(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: run_scaling_experiment(sides=(4, 6, 8, 10, 12), runs=2,
+                                       rng=2024),
+        rounds=1, iterations=1)
+    show(table)
+    no_dag = table.column("steps (no DAG)")
+    with_dag = table.column("steps (with DAG)")
+    # Growth without the DAG across a tripled side...
+    assert no_dag[-1] > no_dag[0]
+    # ...and a clear advantage for the DAG on the largest grid.
+    assert with_dag[-1] < no_dag[-1]
+
+
+def test_bench_fault_recovery(benchmark, show):
+    preset = get_preset("quick", runs=3)
+    table = benchmark.pedantic(
+        lambda: run_recovery_experiment(preset, side=8, rng=2024),
+        rounds=1, iterations=1)
+    show(table)
+    assert all(flag == "yes" for flag in table.column("all converged"))

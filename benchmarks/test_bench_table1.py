@@ -1,0 +1,9 @@
+"""Bench: Table 1 -- densities on the Figure 1 example (exact match)."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark, show):
+    table, exact = benchmark(run_table1)
+    show(table)
+    assert exact, "Table 1 must match the paper exactly"

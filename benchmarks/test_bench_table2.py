@@ -1,0 +1,16 @@
+"""Bench: Table 2 -- the learning schedule of the step model."""
+
+from repro.experiments.common import get_preset
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2(benchmark, show):
+    preset = get_preset("quick", runs=5)
+    table = benchmark.pedantic(
+        lambda: run_table2(preset, radius=0.15, rng=2024),
+        rounds=1, iterations=1)
+    show(table)
+    steps = table.column("measured step")
+    assert steps[0] == 1.0
+    assert steps[1] == 2.0
+    assert steps[2] == 3.0

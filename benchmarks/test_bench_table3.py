@@ -1,0 +1,15 @@
+"""Bench: Table 3 -- steps to build the DAG (lambda=1000, six radii)."""
+
+from repro.experiments.common import get_preset
+from repro.experiments.table3 import run_table3
+
+
+def test_bench_table3(benchmark, show):
+    preset = get_preset("quick", runs=5)
+    table = benchmark.pedantic(lambda: run_table3(preset, rng=2024),
+                               rounds=1, iterations=1)
+    show(table)
+    # The paper's regime: about two steps, independent of R.
+    for column in ("grid", "random"):
+        for value in table.column(column):
+            assert 1.0 <= value <= 4.0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Self-stabilization live: corrupt a running network and watch it heal.
+
+Boots the full stack (hello + DAG naming + density clustering) on a random
+deployment over a *lossy* radio channel, waits for legitimacy, then
+injects increasingly nasty transient faults and measures recovery:
+
+* garbage shared variables on 20% of nodes;
+* duplicated DAG names everywhere (maximal naming conflict);
+* total corruption: every node's state and caches wiped to garbage.
+
+Run:  python examples/fault_recovery.py
+"""
+
+from repro import (
+    BernoulliLossChannel,
+    StepSimulator,
+    make_stack_predicate,
+    standard_stack,
+    uniform_topology,
+)
+from repro.stabilization import (
+    duplicate_dag_ids,
+    garbage_shared,
+    random_subset,
+    recovery_time,
+    steps_to_legitimacy,
+    total_corruption,
+)
+from repro.util.rng import as_rng
+
+
+def main():
+    rng = as_rng(2024)
+    topology = uniform_topology(80, 0.18, rng=rng)
+    stack = standard_stack(topology=topology)
+    simulator = StepSimulator(topology, stack,
+                              channel=BernoulliLossChannel(0.1),
+                              rng=rng, cache_timeout=8)
+    predicate = make_stack_predicate()
+
+    boot = steps_to_legitimacy(simulator, predicate, max_steps=500)
+    print(f"{len(topology.graph)} nodes over a 10%-loss channel")
+    print(f"cold boot:                 {boot}")
+
+    twenty_percent = random_subset(topology.graph.nodes, 0.2, rng)
+    report = recovery_time(simulator, garbage_shared, predicate,
+                           max_steps=500, nodes=twenty_percent)
+    print(f"garbage state on 20%:      {report}")
+
+    report = recovery_time(simulator, duplicate_dag_ids, predicate,
+                           max_steps=500)
+    print(f"all DAG names duplicated:  {report}")
+
+    report = recovery_time(simulator, total_corruption, predicate,
+                           max_steps=800)
+    print(f"total corruption:          {report}")
+
+    print("\nEvery fault healed without any external intervention -- the "
+          "definition of self-stabilization.")
+
+
+if __name__ == "__main__":
+    main()

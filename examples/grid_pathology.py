@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The adversarial grid: why the DAG layer exists (Figures 2 and 3).
+
+On a grid whose identifiers increase left-to-right and bottom-to-top,
+every interior node has the same density; the identifier tie-break then
+funnels the whole network into a single cluster whose joining tree spans
+the network (Figure 2) -- stabilization time proportional to the diameter.
+Drawing locally unique DAG names decouples the tie-breaks and yields many
+compact clusters (Figure 3) with constant-depth trees.
+
+Run:  python examples/grid_pathology.py [nodes] [radius]
+"""
+
+import sys
+
+from repro.experiments import run_figure2, run_figure3
+from repro.metrics import cluster_stats
+
+
+def main():
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    radius = float(sys.argv[2]) if len(sys.argv) > 2 else 0.09
+
+    without = run_figure2(nodes=nodes, radius=radius)
+    with_dag = run_figure3(nodes=nodes, radius=radius, rng=1)
+
+    for result in (without, with_dag):
+        stats = cluster_stats(result.clustering)
+        print(result.name)
+        print(result.rendering)
+        print(f"  clusters:          {stats.cluster_count:.0f}")
+        print(f"  head eccentricity: {stats.mean_head_eccentricity:.1f}")
+        print(f"  tree length:       {stats.mean_tree_length:.1f}")
+        print()
+
+    n_without = without.clustering.cluster_count
+    n_with = with_dag.clustering.cluster_count
+    print(f"Without the DAG the grid collapses into {n_without} cluster(s); "
+          f"with it, {n_with} clusters form -- the joining trees (and hence "
+          "stabilization time) shrink from diameter-scale to constant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Hierarchical routing on top of the density clustering.
+
+Builds a multi-level cluster hierarchy over a random deployment (the
+paper's announced future work) and shows the scalability argument of its
+introduction in action: per-node routing state collapses from O(n) to
+cluster-sized tables, paid for with a small path stretch.
+
+Run:  python examples/hierarchical_routing.py [nodes] [radius]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import uniform_topology
+from repro.graph.paths import connected_components
+from repro.hierarchy import build_hierarchy, hierarchical_route, \
+    route_stretch
+
+
+def main():
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    radius = float(sys.argv[2]) if len(sys.argv) > 2 else 0.11
+
+    topology = uniform_topology(nodes, radius, rng=11)
+    largest = max(connected_components(topology.graph), key=len)
+    if len(largest) < nodes:
+        from repro.graph import Topology
+        topology = Topology(
+            topology.graph.induced_subgraph(largest),
+            positions={n: topology.positions[n] for n in largest},
+            ids={n: topology.ids[n] for n in largest},
+            radius=radius)
+        print(f"(restricted to the largest component: {len(largest)} nodes)")
+
+    hierarchy = build_hierarchy(topology, rng=12)
+    print(f"{len(topology.graph)} nodes clustered into "
+          f"{hierarchy.depth} levels:")
+    for level in hierarchy.levels:
+        print(f"  level {level.index}: {len(level.topology.graph)} nodes "
+              f"-> {level.clustering.cluster_count} clusters")
+
+    sample = sorted(topology.graph.nodes)[0]
+    print(f"\nhierarchical address of node {sample}: "
+          f"{hierarchy.address(sample)}")
+
+    rng = np.random.default_rng(13)
+    node_list = list(topology.graph.nodes)
+    stretches = []
+    for _ in range(50):
+        a, b = rng.choice(len(node_list), size=2, replace=False)
+        hops, flat, stretch = route_stretch(hierarchy, node_list[int(a)],
+                                            node_list[int(b)])
+        stretches.append(stretch)
+    state = [hierarchy.routing_state(n) for n in node_list]
+
+    flat_state = len(node_list) - 1
+    mean_state = sum(state) / len(state)
+    print(f"\nrouting state per node: flat {flat_state} entries, "
+          f"hierarchical {mean_state:.1f} entries "
+          f"({flat_state / mean_state:.1f}x smaller)")
+    print(f"path stretch over 50 random pairs: "
+          f"mean {np.mean(stretches):.2f}, max {max(stretches):.2f}")
+
+    a, b = node_list[0], node_list[-1]
+    route = hierarchical_route(hierarchy, a, b)
+    print(f"\nexample route {a} -> {b} ({len(route) - 1} hops): {route}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Step-by-step protocol trace: watch Table 2's schedule happen.
+
+Runs the full stack on a small line topology and prints, after every
+step, what one node has learned: its cached neighbors, its density, its
+parent and its head -- making the paper's "step 1: neighbors, step 2:
+density, step 3: father, then the head flows down the tree" schedule
+visible frame by frame.
+
+Run:  python examples/protocol_trace.py
+"""
+
+from repro import StepSimulator, standard_stack
+from repro.graph import line_topology
+
+
+def describe(simulator, node):
+    runtime = simulator.runtime(node)
+    neighbors = sorted(runtime.known_neighbors())
+    density = runtime.shared.get("density")
+    density = f"{float(density):.2f}" if density is not None else "?"
+    parent = runtime.shared.get("parent")
+    head = runtime.shared.get("head")
+    return (f"step {simulator.now}: neighbors={neighbors} "
+            f"density={density} parent={parent} head={head}")
+
+
+def main():
+    # A 7-node line: node 3 sits in the middle; densities are 1 everywhere
+    # (no triangles), so identifiers decide and node 0 wins its area.
+    topology = line_topology(7)
+    simulator = StepSimulator(topology, standard_stack(use_dag=False), rng=0)
+
+    watched = 3
+    print(f"Watching node {watched} of a 7-node line topology 0-1-2-3-4-5-6")
+    print(describe(simulator, watched))
+    for _ in range(8):
+        simulator.step()
+        print(describe(simulator, watched))
+
+    heads = simulator.shared_map("head")
+    print("\nFinal heads:", {n: heads[n] for n in sorted(heads)})
+    print("Information traveled one hop per step, exactly Table 2's "
+          "schedule: neighbors at step 1, density at step 2, father at "
+          "step 3, then the head identity flowed down the joining tree.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so editable installs work in offline
+environments whose setuptools lacks PEP 660 support (pip then falls back to
+the legacy ``setup.py develop`` path, which needs no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro: self-stabilizing density-driven clustering for multihop wireless
+networks.
+
+A complete reproduction of N. Mitton, E. Fleury, I. Guérin Lassous and
+S. Tixeuil, *Self-stabilization in self-organized Multihop Wireless
+Networks* (INRIA RR-5426 / ICDCS 2005 workshops): the density clustering
+heuristic, the constant-height DAG renaming, the stability improvement
+rules, a synchronous radio runtime implementing the paper's step model,
+a self-stabilization toolkit, the comparison baselines, and runners for
+every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import poisson_topology, compute_clustering
+
+    topology = poisson_topology(intensity=500, radius=0.1, rng=42)
+    clustering = compute_clustering(topology.graph, tie_ids=topology.ids)
+    print(clustering.cluster_count, "clusters")
+
+See README.md for the architecture overview and examples/ for runnable
+scenarios.
+"""
+
+from repro.clustering import (
+    Clustering,
+    all_densities,
+    compute_clustering,
+    degree_clustering,
+    density,
+    lowest_id_clustering,
+    maxmin_clustering,
+)
+from repro.energy import BatteryModel, energy_aware_clustering
+from repro.graph import (
+    Graph,
+    Topology,
+    figure1_topology,
+    grid_topology,
+    poisson_topology,
+    square_grid_topology,
+    uniform_topology,
+)
+from repro.hierarchy import build_hierarchy, hierarchical_route
+from repro.naming import (
+    NameSpace,
+    PoliteRenaming,
+    RandomizedRenaming,
+    assign_dag_ids,
+)
+from repro.protocols import extract_clustering, standard_stack
+from repro.runtime import (
+    BernoulliLossChannel,
+    IdealChannel,
+    SlottedContentionChannel,
+    StepSimulator,
+)
+from repro.stabilization import (
+    make_stack_predicate,
+    steps_to_legitimacy,
+    verify_closure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatteryModel",
+    "BernoulliLossChannel",
+    "Clustering",
+    "Graph",
+    "IdealChannel",
+    "NameSpace",
+    "PoliteRenaming",
+    "RandomizedRenaming",
+    "SlottedContentionChannel",
+    "StepSimulator",
+    "Topology",
+    "__version__",
+    "all_densities",
+    "assign_dag_ids",
+    "build_hierarchy",
+    "compute_clustering",
+    "degree_clustering",
+    "density",
+    "energy_aware_clustering",
+    "extract_clustering",
+    "figure1_topology",
+    "hierarchical_route",
+    "grid_topology",
+    "lowest_id_clustering",
+    "make_stack_predicate",
+    "maxmin_clustering",
+    "poisson_topology",
+    "square_grid_topology",
+    "standard_stack",
+    "steps_to_legitimacy",
+    "uniform_topology",
+    "verify_closure",
+]

@@ -1,0 +1,17 @@
+"""Stochastic analysis of the density metric on random geometric graphs."""
+
+from repro.analysis.rgg import (
+    LENS_PROBABILITY,
+    expected_degree,
+    expected_density,
+    expected_density_given_degree,
+    expected_neighbor_links,
+)
+
+__all__ = [
+    "LENS_PROBABILITY",
+    "expected_degree",
+    "expected_density",
+    "expected_density_given_degree",
+    "expected_neighbor_links",
+]

@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table3 --preset quick --seed 2024
+    python -m repro table5 --preset paper
+    python -m repro figure3
+    python -m repro mobility --preset quick
+    python -m repro scalability
+    python -m repro energy
+
+Experiment output is printed as the same plain-text tables the benchmark
+suite shows.
+"""
+
+import argparse
+import sys
+
+from repro.experiments.churn import run_churn_experiment
+from repro.experiments.comparison import run_comparison
+from repro.experiments.energy_lifetime import run_energy_lifetime
+from repro.experiments.figures import run_figure1, run_figure2, run_figure3
+from repro.experiments.intensity_sweep import run_intensity_sweep
+from repro.experiments.mobility import run_mobility_experiment
+from repro.experiments.overhead import run_beacon_cost, \
+    run_reaffiliation_churn
+from repro.experiments.scalability import run_scalability
+from repro.experiments.stabilization_time import (
+    run_recovery_experiment,
+    run_scaling_experiment,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+
+def _table1(args):
+    table, exact = run_table1()
+    print(table)
+    print("exact match with the paper:", exact)
+
+
+def _preset_runner(runner):
+    def run(args):
+        print(runner(args.preset, rng=args.seed))
+    return run
+
+
+EXPERIMENTS = {
+    "table1": ("Table 1: densities on the Figure 1 example", _table1),
+    "table2": ("Table 2: the step-model learning schedule",
+               _preset_runner(lambda p, rng: run_table2(p, rng=rng))),
+    "table3": ("Table 3: steps to build the DAG",
+               _preset_runner(run_table3)),
+    "table4": ("Table 4: clusters on random geometric graphs",
+               _preset_runner(run_table4)),
+    "table5": ("Table 5: clusters on the adversarial grid",
+               _preset_runner(run_table5)),
+    "figure1": ("Figure 1: the clustered example",
+                lambda args: print(run_figure1())),
+    "figure2": ("Figure 2: grid without DAG (one giant cluster)",
+                lambda args: print(run_figure2())),
+    "figure3": ("Figure 3: grid with DAG (many compact clusters)",
+                lambda args: print(run_figure3(rng=args.seed))),
+    "mobility": ("Section 5 mobility: head re-election stability",
+                 _preset_runner(lambda p, rng: run_mobility_experiment(
+                     p, rng=rng, runs=2))),
+    "comparison": ("Density vs degree vs lowest-ID vs max-min stability",
+                   _preset_runner(lambda p, rng: run_comparison(
+                       p, rng=rng))),
+    "scaling": ("Stabilization steps vs grid side (Lemma 2, empirically)",
+                lambda args: print(run_scaling_experiment(rng=args.seed))),
+    "recovery": ("Fault-injection recovery times",
+                 _preset_runner(lambda p, rng: run_recovery_experiment(
+                     p, rng=rng))),
+    "scalability": ("Extension: routing state, flat vs hierarchical",
+                    lambda args: print(run_scalability(rng=args.seed))),
+    "energy": ("Extension: network lifetime, static vs energy-aware",
+               lambda args: print(run_energy_lifetime(rng=args.seed))),
+    "intensity": ("Section 3 claim: head count falls as lambda grows",
+                  lambda args: print(run_intensity_sweep(rng=args.seed))),
+    "churn": ("Re-affiliation traffic per metric under mobility",
+              _preset_runner(lambda p, rng: run_reaffiliation_churn(
+                  p, rng=rng))),
+    "beacons": ("Steady-state beacon bytes per protocol configuration",
+                lambda args: print(run_beacon_cost(rng=args.seed))),
+    "node-churn": ("Recovery under node arrivals and departures",
+                   lambda args: print(run_churn_experiment(rng=args.seed))),
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["list"],
+                        help="experiment to run, or 'list' to enumerate")
+    parser.add_argument("--preset", default="quick",
+                        help="workload preset: quick (default), paper, smoke")
+    parser.add_argument("--seed", type=int, default=2024,
+                        help="root RNG seed (default 2024)")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"{name.ljust(width)}  {EXPERIMENTS[name][0]}")
+        return 0
+    EXPERIMENTS[args.experiment][1](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Shared machinery for 1-hop greedy baseline clusterings.
+
+Lowest-ID (Baker-Ephremides) and highest-degree (Gerla-Tsai) clustering
+are both instances of the same greedy rule: scan nodes in decreasing
+priority; an uncovered node becomes a cluster-head and covers its
+neighbors; covered non-heads then affiliate with their best adjacent head.
+The result is a dominating set of heads and 1-hop clusters.
+"""
+
+from repro.clustering.result import Clustering
+
+
+def greedy_dominating_clustering(graph, priority, densities=None):
+    """Greedy 1-hop clustering by decreasing ``priority`` key.
+
+    ``priority`` maps node -> comparable key (greater wins).  Returns a
+    :class:`~repro.clustering.result.Clustering` whose parents point members
+    directly at their head (joining trees of height <= 1).
+    """
+    heads = set()
+    covered = set()
+    for node in sorted(graph.nodes, key=priority.get, reverse=True):
+        if node not in covered:
+            heads.add(node)
+            covered.add(node)
+            covered |= graph.neighbors(node)
+
+    parents = {}
+    for node in graph:
+        if node in heads:
+            parents[node] = node
+            continue
+        adjacent_heads = [q for q in graph.neighbors(node) if q in heads]
+        # Every non-head is dominated by construction.
+        parents[node] = max(adjacent_heads, key=priority.get)
+    return Clustering(graph, parents, densities=densities)

@@ -1,0 +1,21 @@
+"""Highest-degree clustering (Gerla-Tsai / Chen-Stojmenovic style).
+
+A node becomes a cluster-head iff it has the highest degree among the
+not-yet-covered nodes of its closed neighborhood (identifier breaks ties,
+lower wins); other nodes affiliate with the best adjacent head.  This is
+the "degree" metric the paper's Section 3 reports the density heuristic to
+be more stable than, and the comparator used in the stability benches.
+"""
+
+from repro.clustering.baselines.common import greedy_dominating_clustering
+from repro.util.errors import ConfigurationError
+
+
+def degree_clustering(graph, tie_ids=None):
+    """1-hop clusters headed by local degree maxima."""
+    if tie_ids is None:
+        tie_ids = {node: node for node in graph}
+    if set(tie_ids) != set(graph.nodes):
+        raise ConfigurationError("tie_ids must cover exactly the graph's nodes")
+    priority = {node: (graph.degree(node), -tie_ids[node]) for node in graph}
+    return greedy_dominating_clustering(graph, priority)

@@ -1,0 +1,117 @@
+"""Max-Min d-cluster formation (Amis, Prakash, Vuong, Huynh, INFOCOM 2000).
+
+The third comparator of the paper ([1] in its references): clusters of
+radius at most ``d`` hops built by ``2d`` rounds of local flooding.
+
+Algorithm (per the original paper):
+
+1. **Floodmax** (``d`` rounds): every node repeatedly adopts the largest
+   identifier heard in its closed neighborhood, logging the winner of each
+   round.
+2. **Floodmin** (``d`` rounds): starting from the floodmax result, every
+   node repeatedly adopts the *smallest* identifier heard, again logging
+   winners.
+3. Each node then selects its cluster-head:
+
+   * Rule 1 -- if the node's own identifier appears among its floodmin
+     round winners, it is a cluster-head;
+   * Rule 2 -- else, among *node pairs* (identifiers appearing in both its
+     floodmax and floodmin logs) pick the minimum;
+   * Rule 3 -- else, pick the floodmax winner of the final round.
+
+Membership is the set of nodes that selected a given head.  A node whose
+selected head is unreachable through same-cluster nodes (a known max-min
+artifact on sparse graphs) falls back to electing itself; this keeps the
+result a valid connected clustering and is called out in DESIGN.md.
+"""
+
+from repro.clustering.result import Clustering
+from repro.graph.paths import bfs_distances
+from repro.util.errors import ConfigurationError
+
+
+def maxmin_clustering(graph, d=2, tie_ids=None):
+    """Max-Min d-cluster heads and membership over ``graph``."""
+    if d < 1:
+        raise ConfigurationError(f"d must be >= 1, got {d}")
+    if tie_ids is None:
+        tie_ids = {node: node for node in graph}
+    if set(tie_ids) != set(graph.nodes):
+        raise ConfigurationError("tie_ids must cover exactly the graph's nodes")
+    if len(set(tie_ids.values())) != len(tie_ids):
+        raise ConfigurationError("tie_ids must be globally unique")
+
+    max_log = _flood(graph, tie_ids, rounds=d, combine=max,
+                     start={node: tie_ids[node] for node in graph})
+    final_max = {node: max_log[node][-1] for node in graph}
+    min_log = _flood(graph, tie_ids, rounds=d, combine=min, start=final_max)
+
+    head_id_of = {}
+    for node in graph:
+        head_id_of[node] = _select_head_id(
+            tie_ids[node], max_log[node], min_log[node])
+
+    id_to_node = {tie_ids[node]: node for node in graph}
+    chosen_head = {node: id_to_node[head_id_of[node]] for node in graph}
+    # A node selected as head by anyone must head its own cluster, or the
+    # membership map would be ambiguous (standard max-min normalization).
+    for head in set(chosen_head.values()):
+        chosen_head[head] = head
+    parents = _parents_from_membership(graph, chosen_head, tie_ids)
+    return Clustering(graph, parents)
+
+
+def _flood(graph, tie_ids, rounds, combine, start):
+    """Run ``rounds`` of synchronous flooding, logging each round's winner."""
+    current = dict(start)
+    logs = {node: [] for node in graph}
+    for _ in range(rounds):
+        updated = {}
+        for node in graph:
+            values = [current[node]]
+            values.extend(current[q] for q in graph.neighbors(node))
+            updated[node] = combine(values)
+        current = updated
+        for node in graph:
+            logs[node].append(current[node])
+    return logs
+
+
+def _select_head_id(own_id, max_winners, min_winners):
+    if own_id in min_winners:
+        return own_id  # Rule 1
+    pairs = set(max_winners) & set(min_winners)
+    if pairs:
+        return min(pairs)  # Rule 2
+    return max_winners[-1]  # Rule 3
+
+
+def _parents_from_membership(graph, chosen_head, tie_ids):
+    """Turn per-node head choices into a joining forest.
+
+    Within each cluster, parents follow BFS trees rooted at the head over
+    the cluster-induced subgraph (ties broken by smaller identifier).
+    Members disconnected from their head inside the cluster become
+    singleton heads (see module docstring).
+    """
+    clusters = {}
+    for node, head in chosen_head.items():
+        clusters.setdefault(head, set()).add(node)
+
+    parents = {}
+    for head, members in clusters.items():
+        members = set(members)
+        members.add(head)
+        subgraph = graph.induced_subgraph(members)
+        distances = bfs_distances(subgraph, head)
+        parents[head] = head
+        for node in members:
+            if node == head:
+                continue
+            if node not in distances:
+                parents[node] = node  # unreachable: fall back to singleton
+                continue
+            closer = [q for q in subgraph.neighbors(node)
+                      if distances.get(q, float("inf")) == distances[node] - 1]
+            parents[node] = min(closer, key=tie_ids.get)
+    return parents

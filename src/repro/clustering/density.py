@@ -1,0 +1,92 @@
+"""The density metric of Definition 1.
+
+For a node ``p`` with neighborhood ``Np``::
+
+    d_p = |{e = (v, w) in E : w in {p} u Np and v in Np}| / |Np|
+
+The numerator counts each edge from ``p`` to a neighbor plus each edge
+between two neighbors of ``p`` (each undirected edge once).  Since every
+edge of the second kind closes a triangle through ``p``, the density
+rewrites as ``1 + triangles(p) / |Np|``, which is how :func:`all_densities`
+computes it in ``O(m * delta)`` total time.
+
+Isolated nodes have ``|Np| = 0``; Definition 1 is then undefined and this
+module defines their density as ``0.0`` (DESIGN.md, deviation 2).
+"""
+
+from fractions import Fraction
+
+from repro.util.errors import TopologyError
+
+ISOLATED_DENSITY = 0.0
+
+
+def density(graph, node, exact=False):
+    """Density of a single node.
+
+    With ``exact=True`` the value is returned as a :class:`~fractions.Fraction`
+    so equality comparisons (the tie-break cases) are free of floating-point
+    noise; the default returns a ``float``.
+    """
+    neighbors = graph.neighbors(node)
+    if not neighbors:
+        return Fraction(0) if exact else ISOLATED_DENSITY
+    links = len(neighbors) + edges_among(graph, neighbors)
+    value = Fraction(links, len(neighbors))
+    return value if exact else float(value)
+
+
+def edges_among(graph, nodes):
+    """Number of edges with both endpoints in ``nodes`` (each counted once)."""
+    members = set(nodes)
+    seen = set()
+    for u in members:
+        for v in graph.neighbors(u):
+            if v in members:
+                seen.add(frozenset((u, v)))
+    return len(seen)
+
+
+def all_densities(graph, exact=False):
+    """Density of every node, via triangle counting.
+
+    Returns ``dict[node, value]`` where values are ``float`` (default) or
+    :class:`~fractions.Fraction` (``exact=True``).  Equivalent to calling
+    :func:`density` per node but asymptotically faster on the 1000-node
+    evaluation workloads: each edge between two neighbors of ``w`` is a
+    triangle through ``w``, so one pass over edges with a common-neighbor
+    scan counts every numerator at once.
+    """
+    triangles = {node: 0 for node in graph}
+    for u, v in graph.edges:
+        nu = graph.neighbors(u)
+        nv = graph.neighbors(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        for w in nu:
+            if w in nv:
+                # w sees edge (u, v) inside its neighborhood.
+                triangles[w] += 1
+    result = {}
+    for node in graph:
+        deg = graph.degree(node)
+        if deg == 0:
+            result[node] = Fraction(0) if exact else ISOLATED_DENSITY
+            continue
+        value = Fraction(deg + triangles[node], deg)
+        result[node] = value if exact else float(value)
+    return result
+
+
+def density_bounds(degree):
+    """Tight bounds ``(low, high)`` on the density of a degree-``degree`` node.
+
+    A non-isolated node has at least its own ``degree`` links (density 1)
+    and at most additionally all ``degree * (degree - 1) / 2`` links among
+    its neighbors.
+    """
+    if degree < 0:
+        raise TopologyError(f"degree must be non-negative, got {degree}")
+    if degree == 0:
+        return (ISOLATED_DENSITY, ISOLATED_DENSITY)
+    return (1.0, 1.0 + (degree - 1) / 2.0)

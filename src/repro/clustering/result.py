@@ -1,0 +1,182 @@
+"""The :class:`Clustering` result object and its structural metrics.
+
+A clustering is a *joining forest*: every node has a parent ``F(p)`` (a
+neighbor, or itself), and the root of each tree is the cluster-head
+``H(p)``.  The metrics reported in Tables 4 and 5 live here:
+
+* ``cluster_count`` -- number of cluster-heads ("# clusters");
+* ``head_eccentricity`` -- ``e(H(u)/C) = max_{v in C} d(H(u), v)`` in hops,
+  measured inside the cluster-induced subgraph (clusters are connected by
+  construction since every parent is a neighbor);
+* ``tree_length`` -- the height of a cluster's joining tree, i.e. the
+  maximum number of parent links from a member to its head, which bounds
+  the number of steps head identities need to propagate (Section 5).
+"""
+
+from repro.graph.paths import bfs_distances
+from repro.util.errors import TopologyError
+
+
+class Clustering:
+    """An immutable snapshot of a cluster assignment over a graph."""
+
+    def __init__(self, graph, parents, densities=None, dag_ids=None,
+                 order_name=None, fusion=False):
+        self.graph = graph
+        self.parents = dict(parents)
+        self.densities = dict(densities) if densities is not None else None
+        self.dag_ids = dict(dag_ids) if dag_ids is not None else None
+        self.order_name = order_name
+        self.fusion = fusion
+        self._validate_parents()
+        self.head_of = self._resolve_heads()
+        self.heads = frozenset(node for node, parent in self.parents.items()
+                               if parent == node)
+        self.clusters = self._group_clusters()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _validate_parents(self):
+        if set(self.parents) != set(self.graph.nodes):
+            raise TopologyError("parents must cover exactly the graph's nodes")
+        for node, parent in self.parents.items():
+            if parent != node and not self.graph.has_edge(node, parent):
+                raise TopologyError(
+                    f"parent of {node!r} is {parent!r}, which is not a neighbor")
+
+    def _resolve_heads(self):
+        """Follow parent links to the root of each tree, detecting cycles."""
+        head_of = {}
+        for start in self.parents:
+            if start in head_of:
+                continue
+            path = []
+            node = start
+            while node not in head_of:
+                if node in path:
+                    cycle = path[path.index(node):]
+                    raise TopologyError(f"parent links form a cycle: {cycle!r}")
+                path.append(node)
+                parent = self.parents[node]
+                if parent == node:
+                    head_of[node] = node
+                    break
+                node = parent
+            root = head_of[node] if node in head_of else node
+            for visited in path:
+                head_of[visited] = root
+        return head_of
+
+    def _group_clusters(self):
+        clusters = {}
+        for node, head in self.head_of.items():
+            clusters.setdefault(head, set()).add(node)
+        return {head: frozenset(members) for head, members in clusters.items()}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def cluster_count(self):
+        """Number of clusters (= number of cluster-heads)."""
+        return len(self.heads)
+
+    def head(self, node):
+        """``H(node)``: the cluster-head of ``node``."""
+        return self.head_of[node]
+
+    def parent(self, node):
+        """``F(node)``: the parent of ``node`` in the joining forest."""
+        return self.parents[node]
+
+    def members(self, head):
+        """All nodes in the cluster of ``head`` (including the head)."""
+        if head not in self.clusters:
+            raise TopologyError(f"{head!r} is not a cluster-head")
+        return self.clusters[head]
+
+    def is_head(self, node):
+        """True iff ``node`` elected itself (``H(node) = node``)."""
+        return self.head_of[node] == node
+
+    def depth(self, node):
+        """Number of parent links from ``node`` to its head."""
+        count = 0
+        current = node
+        while self.parents[current] != current:
+            current = self.parents[current]
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Table 4 / Table 5 metrics
+    # ------------------------------------------------------------------
+
+    def tree_length(self, head):
+        """Height of the joining tree rooted at ``head`` (0 for singletons)."""
+        members = self.members(head)
+        return max(self.depth(node) for node in members)
+
+    def average_tree_length(self):
+        """Mean joining-tree height over clusters ("average tree length")."""
+        if not self.heads:
+            return 0.0
+        return sum(self.tree_length(head) for head in self.heads) / len(self.heads)
+
+    def head_eccentricity(self, head):
+        """``e(H(u)/C)``: max hop distance from the head to any member,
+        measured inside the cluster-induced subgraph."""
+        members = self.members(head)
+        subgraph = self.graph.induced_subgraph(members)
+        distances = bfs_distances(subgraph, head)
+        if set(distances) != set(members):
+            raise TopologyError(
+                f"cluster of {head!r} is not connected; joining forest invalid")
+        return max(distances.values())
+
+    def average_head_eccentricity(self):
+        """Mean head eccentricity over clusters."""
+        if not self.heads:
+            return 0.0
+        return sum(self.head_eccentricity(h) for h in self.heads) / len(self.heads)
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests and the stabilization monitor)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self, heads_non_adjacent=True):
+        """Verify the structural guarantees the paper relies on.
+
+        Raises :class:`TopologyError` on violation.  ``heads_non_adjacent``
+        asserts that no two cluster-heads are neighbors (guaranteed by the
+        basic rule); when :attr:`fusion` is set, heads must additionally be
+        at least 3 hops apart, which :meth:`check_fusion_separation` covers.
+        """
+        for head in self.heads:
+            self.head_eccentricity(head)  # raises if a cluster is disconnected
+        if heads_non_adjacent:
+            for head in self.heads:
+                adjacent_heads = self.graph.neighbors(head) & self.heads
+                if adjacent_heads:
+                    raise TopologyError(
+                        f"cluster-heads {head!r} and {adjacent_heads!r} are "
+                        "adjacent")
+        if self.fusion:
+            self.check_fusion_separation()
+
+    def check_fusion_separation(self):
+        """With the fusion rule, two heads are at least 3 hops apart."""
+        for head in self.heads:
+            two_hop = self.graph.k_neighborhood(head, 2)
+            conflicting = two_hop & self.heads
+            if conflicting:
+                raise TopologyError(
+                    f"fusion violated: heads {conflicting!r} within 2 hops "
+                    f"of head {head!r}")
+
+    def __repr__(self):
+        return (f"Clustering(clusters={self.cluster_count}, "
+                f"order={self.order_name!r}, fusion={self.fusion})")

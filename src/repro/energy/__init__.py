@@ -1,0 +1,20 @@
+"""Energy-aware organization (the paper's announced future work)."""
+
+from repro.energy.battery import BatteryModel
+from repro.energy.lifetime import LifetimeResult, simulate_lifetime
+from repro.energy.policy import (
+    POLICIES,
+    clustering_for_policy,
+    energy_aware_clustering,
+    energy_keys,
+)
+
+__all__ = [
+    "BatteryModel",
+    "LifetimeResult",
+    "POLICIES",
+    "clustering_for_policy",
+    "energy_aware_clustering",
+    "energy_keys",
+    "simulate_lifetime",
+]

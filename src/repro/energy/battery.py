@@ -1,0 +1,68 @@
+"""Battery model for energy-aware organization.
+
+The paper's conclusion announces energy as future work: *"we also want to
+consider energy constraints in the stabilization algorithm and we are
+investigating energy-efficient organization algorithms."*  This module
+provides the substrate: per-node batteries that drain asymmetrically --
+cluster-heads pay for aggregation, synchronization and inter-cluster
+traffic, members only for their periodic beacons.
+"""
+
+from repro.util.errors import ConfigurationError
+
+
+class BatteryModel:
+    """Tracks per-node residual energy through clustering windows."""
+
+    def __init__(self, nodes, capacity=100.0, head_cost=4.0,
+                 member_cost=1.0):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if head_cost < member_cost:
+            raise ConfigurationError(
+                "head_cost below member_cost makes headship free; the "
+                "energy experiment would be vacuous")
+        if member_cost < 0:
+            raise ConfigurationError(
+                f"member_cost must be non-negative, got {member_cost}")
+        self.capacity = float(capacity)
+        self.head_cost = float(head_cost)
+        self.member_cost = float(member_cost)
+        self.energy = {node: self.capacity for node in nodes}
+
+    def drain(self, clustering):
+        """Charge one window's cost to every *alive* node by role."""
+        for node, level in self.energy.items():
+            if level <= 0 or node not in clustering.head_of:
+                continue
+            cost = self.head_cost if clustering.is_head(node) \
+                else self.member_cost
+            self.energy[node] = max(0.0, level - cost)
+
+    def alive(self):
+        """Nodes with residual energy."""
+        return {node for node, level in self.energy.items() if level > 0}
+
+    def dead(self):
+        """Nodes that exhausted their battery."""
+        return {node for node, level in self.energy.items() if level <= 0}
+
+    def fraction_alive(self):
+        return len(self.alive()) / len(self.energy)
+
+    def residual(self, node):
+        return self.energy[node]
+
+    def bucket(self, node, buckets=5):
+        """Coarse energy level in ``0..buckets`` (dead nodes get 0).
+
+        Coarseness is deliberate: if raw energy entered the order, heads
+        would thrash every window; with buckets a head serves until it
+        drops one bucket below a neighbor, amortizing re-elections.
+        """
+        if buckets < 1:
+            raise ConfigurationError(f"buckets must be >= 1, got {buckets}")
+        level = self.energy[node]
+        if level <= 0:
+            return 0
+        return 1 + int((buckets - 1) * (level / self.capacity))

@@ -1,0 +1,48 @@
+"""Experiment runners: one module per paper table/figure, plus extensions."""
+
+from repro.experiments.churn import run_churn_experiment
+from repro.experiments.common import PRESETS, Preset, get_preset
+from repro.experiments.comparison import run_comparison
+from repro.experiments.energy_lifetime import run_energy_lifetime
+from repro.experiments.figures import run_figure1, run_figure2, run_figure3
+from repro.experiments.intensity_sweep import run_intensity_sweep
+from repro.experiments.overhead import run_beacon_cost, \
+    run_reaffiliation_churn
+from repro.experiments.scalability import run_scalability
+from repro.experiments.mobility import run_mobility_experiment, \
+    run_mobility_trace
+from repro.experiments.stabilization_time import (
+    run_recovery_experiment,
+    run_scaling_experiment,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import learning_milestones, run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+__all__ = [
+    "PRESETS",
+    "Preset",
+    "get_preset",
+    "learning_milestones",
+    "run_comparison",
+    "run_beacon_cost",
+    "run_churn_experiment",
+    "run_energy_lifetime",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_intensity_sweep",
+    "run_mobility_experiment",
+    "run_mobility_trace",
+    "run_reaffiliation_churn",
+    "run_recovery_experiment",
+    "run_scalability",
+    "run_scaling_experiment",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

@@ -1,0 +1,79 @@
+"""Churn experiment: self-stabilization under node arrivals/departures.
+
+Runs the full protocol stack through churn epochs: each epoch the node
+population changes (departures take their state with them; arrivals boot
+fresh), the simulator's topology is swapped, and the stack gets a fixed
+budget of steps to re-stabilize.  Reported per churn intensity:
+
+* the fraction of epochs in which full legitimacy was re-reached within
+  the budget ("ready fraction");
+* the mean number of steps to re-legitimacy over the epochs that made it.
+
+The shape claim: recovery cost is local -- moderate churn heals within a
+near-constant number of steps, because the density metric and the DAG
+keep the affected region small (the robustness argument of Section 2).
+"""
+
+from repro.metrics.tables import Table
+from repro.mobility.churn import ChurnProcess
+from repro.protocols.stack import standard_stack
+from repro.runtime.simulator import StepSimulator
+from repro.stabilization.monitor import steps_to_legitimacy
+from repro.stabilization.predicates import make_stack_predicate
+from repro.util.rng import as_rng, spawn_rngs
+
+
+def run_churn_epochs(initial_count, radius, leave_probability, arrival_rate,
+                     epochs, rng=None, step_budget=60):
+    """One churn run; returns ``(ready_epochs, total_epochs, mean_steps)``."""
+    rng = as_rng(rng)
+    process = ChurnProcess(initial_count, radius, leave_probability,
+                           arrival_rate, rng=rng)
+    topology = process.topology()
+    stack = standard_stack(namespace=4 * initial_count)
+    simulator = StepSimulator(topology, stack, rng=rng)
+    predicate = make_stack_predicate()
+    steps_to_legitimacy(simulator, predicate, 300)
+
+    ready = 0
+    steps_total = 0.0
+    for _ in range(epochs):
+        process.epoch()
+        simulator.set_topology(process.topology())
+        report = steps_to_legitimacy(simulator, predicate, step_budget)
+        if report.converged:
+            ready += 1
+            steps_total += report.steps
+    mean_steps = steps_total / ready if ready else float(step_budget)
+    return ready, epochs, mean_steps
+
+
+def run_churn_experiment(initial_count=60, radius=0.22, epochs=15, runs=2,
+                         rng=None,
+                         churn_levels=((0.0, 0.0), (0.05, 3.0), (0.15, 9.0))):
+    """Sweep churn intensities; returns a Table.
+
+    ``churn_levels`` pairs a per-epoch leave probability with a Poisson
+    arrival rate (matched so the population stays roughly stationary).
+    """
+    table = Table(
+        title=(f"Churn recovery ({initial_count} nodes, R={radius}, "
+               f"{epochs} epochs x {runs} runs)"),
+        headers=["leave prob", "arrival rate", "ready fraction %",
+                 "mean recovery steps"],
+    )
+    for leave_probability, arrival_rate in churn_levels:
+        ready_total = 0
+        epoch_total = 0
+        steps_accumulated = 0.0
+        for run_rng in spawn_rngs(rng, runs):
+            ready, total, mean_steps = run_churn_epochs(
+                initial_count, radius, leave_probability, arrival_rate,
+                epochs, rng=run_rng)
+            ready_total += ready
+            epoch_total += total
+            steps_accumulated += mean_steps
+        table.add_row([leave_probability, arrival_rate,
+                       100.0 * ready_total / epoch_total,
+                       steps_accumulated / runs])
+    return table

@@ -1,0 +1,88 @@
+"""Shared experiment machinery: presets, workload builders, runners."""
+
+from dataclasses import dataclass, replace
+
+from repro.clustering.oracle import compute_clustering
+from repro.graph.generators import poisson_topology, square_grid_topology
+from repro.naming.assign import assign_dag_ids
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Workload scale for one experiment family.
+
+    ``paper`` reproduces the paper's parameters (1000 runs of
+    1000-intensity deployments, 15-minute mobility); ``quick`` is sized for
+    the benchmark suite and CI; ``smoke`` for unit tests.  Statistical
+    estimators are identical across presets -- only sample counts and
+    population sizes shrink.
+    """
+
+    name: str
+    runs: int
+    intensity: int           # Poisson intensity / approximate grid size
+    mobility_nodes: int
+    mobility_duration: float  # seconds
+    mobility_window: float    # seconds
+
+
+PRESETS = {
+    "paper": Preset(name="paper", runs=1000, intensity=1000,
+                    mobility_nodes=1000, mobility_duration=900.0,
+                    mobility_window=2.0),
+    "quick": Preset(name="quick", runs=8, intensity=1000,
+                    mobility_nodes=400, mobility_duration=120.0,
+                    mobility_window=2.0),
+    "smoke": Preset(name="smoke", runs=2, intensity=200,
+                    mobility_nodes=80, mobility_duration=20.0,
+                    mobility_window=2.0),
+}
+
+
+def get_preset(preset, **overrides):
+    """Resolve a preset by name (or pass through a :class:`Preset`),
+    optionally overriding individual fields."""
+    if isinstance(preset, Preset):
+        resolved = preset
+    elif preset in PRESETS:
+        resolved = PRESETS[preset]
+    else:
+        raise ConfigurationError(
+            f"unknown preset {preset!r}; expected one of {sorted(PRESETS)} "
+            "or a Preset instance")
+    if overrides:
+        resolved = replace(resolved, **overrides)
+    return resolved
+
+
+def build_topology(kind, intensity, radius, rng):
+    """One evaluation workload: ``"random"`` (Poisson) or ``"grid"``."""
+    if kind == "random":
+        return poisson_topology(intensity, radius, rng=rng)
+    if kind == "grid":
+        return square_grid_topology(intensity, radius)
+    raise ConfigurationError(f"unknown topology kind {kind!r}")
+
+
+def clustered(topology, rng=None, use_dag=True, order="basic", fusion=False,
+              previous=None, dag_ids=None):
+    """Oracle clustering of a topology, with or without the DAG layer.
+
+    When ``use_dag`` and no ``dag_ids`` are supplied, names are built by
+    the polite renaming first.  Returns ``(clustering, dag_ids)`` so
+    callers can thread names across mobility windows.
+    """
+    if use_dag and dag_ids is None:
+        dag_ids, _rounds = assign_dag_ids(topology, as_rng(rng))
+    clustering = compute_clustering(
+        topology.graph, tie_ids=topology.ids,
+        dag_ids=dag_ids if use_dag else None,
+        order=order, fusion=fusion, previous=previous)
+    return clustering, dag_ids
+
+
+def per_run_rngs(rng, runs):
+    """Independent child RNGs, one per simulation run."""
+    return spawn_rngs(rng, runs)

@@ -1,0 +1,95 @@
+"""Metric comparison: density vs degree vs lowest-ID vs max-min.
+
+Section 3 ("Features") cites [16]'s finding that the density heuristic is
+more stable under mobility than the degree and max-min metrics.  This
+experiment replays one mobility trace per run and measures head retention
+for every metric over the same topology sequence, making the comparison
+paired.  It also reports mean cluster counts, since stability alone is
+trivially won by degenerate clusterings.
+"""
+
+from repro.clustering.baselines.degree import degree_clustering
+from repro.clustering.baselines.lowest_id import lowest_id_clustering
+from repro.clustering.baselines.maxmin import maxmin_clustering
+from repro.experiments.common import clustered, get_preset
+from repro.experiments.mobility import SPEED_REGIMES, speed_range_in_sides
+from repro.metrics.stability import RetentionSeries
+from repro.metrics.tables import Table
+from repro.mobility.random_direction import RandomDirectionModel
+from repro.mobility.trace import topology_at
+from repro.util.rng import as_rng, spawn_rngs
+
+
+def _density_heads(topology, _rng):
+    clustering, _ = clustered(topology, use_dag=False)
+    return clustering
+
+
+METRICS = {
+    "density": _density_heads,
+    "degree": lambda topo, rng: degree_clustering(topo.graph,
+                                                  tie_ids=topo.ids),
+    "lowest-id": lambda topo, rng: lowest_id_clustering(topo.graph,
+                                                        tie_ids=topo.ids),
+    "max-min (d=2)": lambda topo, rng: maxmin_clustering(topo.graph, d=2,
+                                                         tie_ids=topo.ids),
+}
+
+
+def run_comparison(preset="quick", regime="pedestrian", radius=0.1, rng=None,
+                   runs=1):
+    """Head retention per clustering metric over shared mobility traces."""
+    preset = get_preset(preset)
+    rng = as_rng(rng)
+    speed_range = speed_range_in_sides(SPEED_REGIMES[regime])
+    retention = {name: RetentionSeries() for name in METRICS}
+    membership_kept = {name: [] for name in METRICS}
+    cluster_counts = {name: [] for name in METRICS}
+    windows = int(round(preset.mobility_duration / preset.mobility_window))
+
+    for run_rng in spawn_rngs(rng, runs):
+        model = RandomDirectionModel(preset.mobility_nodes, speed_range,
+                                     rng=run_rng)
+        previous = {name: None for name in METRICS}
+        for _ in range(windows + 1):
+            topology = topology_at(model.positions, radius)
+            for name, build in METRICS.items():
+                clustering = build(topology, run_rng)
+                cluster_counts[name].append(clustering.cluster_count)
+                if previous[name] is not None:
+                    retention[name].observe(previous[name].heads,
+                                            clustering.heads)
+                    membership_kept[name].append(_membership_retention(
+                        previous[name], clustering))
+                previous[name] = clustering
+            model.advance(preset.mobility_window)
+
+    table = Table(
+        title=(f"Metric stability under {regime} mobility "
+               f"({preset.mobility_nodes} nodes, "
+               f"{preset.mobility_duration:.0f}s x {runs} trace(s))"),
+        headers=["metric", "% heads retained / window",
+                 "% nodes keeping their head", "mean #clusters"],
+    )
+    for name in METRICS:
+        counts = cluster_counts[name]
+        kept = membership_kept[name]
+        table.add_row([name, retention[name].percent,
+                       100.0 * sum(kept) / len(kept),
+                       sum(counts) / len(counts)])
+    return table
+
+
+def _membership_retention(before, after):
+    """Fraction of nodes whose cluster-head assignment survived the window.
+
+    Head *retention* compares head sets only and favors metrics anchored
+    to immutable identifiers (a max-min head keeps its role as long as it
+    stays the area's max id); membership retention instead measures how
+    much of the network gets re-homed, the cost [16] cares about when
+    routing tables must be rebuilt.
+    """
+    common = set(before.head_of) & set(after.head_of)
+    kept = sum(before.head_of[node] == after.head_of[node]
+               for node in common)
+    return kept / len(common) if common else 1.0

@@ -1,0 +1,67 @@
+"""Figures 1-3: clustering renderings.
+
+* Figure 1 -- the 9-node example, clustered into heads ``h`` and ``j``;
+* Figure 2 -- the grid without the DAG: one network-wide cluster;
+* Figure 3 -- the grid with the DAG: many compact clusters.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.common import clustered
+from repro.graph.generators import figure1_topology, square_grid_topology
+from repro.util.rng import as_rng
+from repro.viz.ascii import cluster_legend, render_clustering
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A rendered figure plus the clustering behind it."""
+
+    name: str
+    topology: object
+    clustering: object
+    rendering: str
+    legend: str
+
+    def __str__(self):
+        return f"{self.name}\n{self.rendering}\n{self.legend}"
+
+
+def run_figure1():
+    """The clustered example of Figure 1 (right side)."""
+    topology = figure1_topology()
+    clustering, _ = clustered(topology, use_dag=False)
+    return FigureResult(
+        name="Figure 1: example clustering (heads: h and j)",
+        topology=topology,
+        clustering=clustering,
+        rendering=render_clustering(topology, clustering, width=40,
+                                    height=12),
+        legend=cluster_legend(clustering),
+    )
+
+
+def run_figure2(nodes=1000, radius=0.05):
+    """Grid, no DAG: the single giant cluster of Figure 2."""
+    topology = square_grid_topology(nodes, radius)
+    clustering, _ = clustered(topology, use_dag=False)
+    return FigureResult(
+        name=f"Figure 2: grid (~{nodes} nodes, R={radius}) without DAG",
+        topology=topology,
+        clustering=clustering,
+        rendering=render_clustering(topology, clustering),
+        legend=cluster_legend(clustering),
+    )
+
+
+def run_figure3(nodes=1000, radius=0.05, rng=None):
+    """Grid with DAG names: the many compact clusters of Figure 3."""
+    topology = square_grid_topology(nodes, radius)
+    clustering, _ = clustered(topology, rng=as_rng(rng), use_dag=True)
+    return FigureResult(
+        name=f"Figure 3: grid (~{nodes} nodes, R={radius}) with DAG",
+        topology=topology,
+        clustering=clustering,
+        rendering=render_clustering(topology, clustering),
+        legend=cluster_legend(clustering),
+    )

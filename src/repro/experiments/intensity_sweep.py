@@ -1,0 +1,65 @@
+"""Intensity sweep: cluster-head count vs node intensity (§3 "Features").
+
+Section 3 cites [16]: *"the number of cluster-heads computed with this
+metric is bounded and decreases when the nodes intensity increases"* --
+densifying the network should merge clusters, not split them, because
+nodes that hear each other need no separation.  This experiment sweeps λ
+at fixed R, reporting head counts for density and for the degree baseline
+(whose head count grows with n -- a dominating set scales with area /
+R², not down), plus measured-vs-predicted interior density values from
+the stochastic analysis.
+"""
+
+from repro.analysis.rgg import expected_degree, expected_density
+from repro.clustering.baselines.degree import degree_clustering
+from repro.clustering.density import all_densities
+from repro.experiments.common import clustered
+from repro.graph.generators import poisson_topology
+from repro.metrics.tables import Table
+from repro.util.rng import as_rng, spawn_rngs
+
+
+def interior_nodes(topology, margin):
+    """Nodes at least ``margin`` from every border (no edge effects)."""
+    return [node for node, (x, y) in topology.positions.items()
+            if margin <= x <= 1.0 - margin and margin <= y <= 1.0 - margin]
+
+
+def run_intensity_sweep(intensities=(300, 600, 1000, 1500), radius=0.1,
+                        runs=4, rng=None):
+    """Head counts and density statistics per intensity; returns a Table."""
+    rng = as_rng(rng)
+    table = Table(
+        title=(f"Intensity sweep at R={radius} ({runs} runs): head count "
+               "should fall with lambda for density, not for degree"),
+        headers=["lambda", "mean degree (pred)", "density heads",
+                 "degree heads", "interior density", "predicted density"],
+    )
+    for intensity in intensities:
+        density_heads = 0.0
+        degree_heads = 0.0
+        measured_density = 0.0
+        samples = 0
+        for run_rng in spawn_rngs(rng, runs):
+            topology = poisson_topology(intensity, radius, rng=run_rng)
+            if len(topology.graph) == 0:
+                continue
+            clustering, _ = clustered(topology, rng=run_rng, use_dag=True)
+            density_heads += clustering.cluster_count
+            degree_heads += degree_clustering(
+                topology.graph, tie_ids=topology.ids).cluster_count
+            densities = all_densities(topology.graph)
+            interior = interior_nodes(topology, margin=radius)
+            if interior:
+                measured_density += sum(densities[n] for n in interior) \
+                    / len(interior)
+                samples += 1
+        table.add_row([
+            intensity,
+            expected_degree(intensity, radius),
+            density_heads / runs,
+            degree_heads / runs,
+            measured_density / max(samples, 1),
+            expected_density(intensity, radius),
+        ])
+    return table

@@ -1,0 +1,97 @@
+"""Overhead experiment: the traffic cost of cluster maintenance.
+
+Two measurements back the paper's motivation that the density metric
+"limits the exchanged traffic generated while clusters are re-built and
+the nodes' tables updated":
+
+* **re-affiliation churn** -- under mobility, how many nodes change
+  cluster-heads per window, per metric (each change is routing-table
+  update traffic).  Measured over the same traces for all metrics.
+* **beacon cost** -- bytes per step broadcast by the protocol stack on
+  the wire-level model, per configuration (the fusion summary is the
+  expensive payload; this quantifies what the 3-hop head separation
+  costs in steady state).
+"""
+
+from repro.clustering.baselines.degree import degree_clustering
+from repro.clustering.baselines.lowest_id import lowest_id_clustering
+from repro.clustering.baselines.maxmin import maxmin_clustering
+from repro.experiments.common import clustered, get_preset
+from repro.experiments.mobility import SPEED_REGIMES, speed_range_in_sides
+from repro.graph.generators import uniform_topology
+from repro.metrics.overhead import reaffiliations
+from repro.metrics.tables import Table
+from repro.mobility.random_direction import RandomDirectionModel
+from repro.mobility.trace import topology_at
+from repro.protocols.stack import standard_stack
+from repro.runtime.simulator import StepSimulator
+from repro.util.rng import as_rng, spawn_rngs
+
+_METRICS = {
+    "density": lambda topo: clustered(topo, use_dag=False)[0],
+    "degree": lambda topo: degree_clustering(topo.graph, tie_ids=topo.ids),
+    "lowest-id": lambda topo: lowest_id_clustering(topo.graph,
+                                                   tie_ids=topo.ids),
+    "max-min (d=2)": lambda topo: maxmin_clustering(topo.graph, d=2,
+                                                    tie_ids=topo.ids),
+}
+
+
+def run_reaffiliation_churn(preset="quick", regime="pedestrian", radius=0.1,
+                            rng=None, runs=2):
+    """Mean re-affiliations per window per 100 nodes, per metric."""
+    preset = get_preset(preset)
+    rng = as_rng(rng)
+    speed_range = speed_range_in_sides(SPEED_REGIMES[regime])
+    windows = int(round(preset.mobility_duration / preset.mobility_window))
+    totals = {name: 0.0 for name in _METRICS}
+    observed = 0
+    for run_rng in spawn_rngs(rng, runs):
+        model = RandomDirectionModel(preset.mobility_nodes, speed_range,
+                                     rng=run_rng)
+        previous = {name: None for name in _METRICS}
+        for _ in range(windows + 1):
+            topology = topology_at(model.positions, radius)
+            for name, build in _METRICS.items():
+                clustering = build(topology)
+                if previous[name] is not None:
+                    totals[name] += reaffiliations(previous[name],
+                                                   clustering)
+                previous[name] = clustering
+            observed += 1
+            model.advance(preset.mobility_window)
+    window_count = runs * windows
+    table = Table(
+        title=(f"Re-affiliation churn under {regime} mobility "
+               f"({preset.mobility_nodes} nodes, per window per 100 nodes)"),
+        headers=["metric", "re-affiliations / window / 100 nodes"],
+    )
+    for name, total in totals.items():
+        rate = 100.0 * total / (window_count * preset.mobility_nodes)
+        table.add_row([name, rate])
+    return table
+
+
+def run_beacon_cost(nodes=150, radius=0.15, steps=30, rng=None):
+    """Steady-state broadcast bytes per node per step, per configuration."""
+    rng = as_rng(rng)
+    configurations = {
+        "no DAG, basic": {"use_dag": False},
+        "DAG, basic": {"use_dag": True},
+        "DAG, fusion": {"use_dag": True, "fusion": True},
+    }
+    table = Table(
+        title=(f"Beacon cost ({nodes} nodes, R={radius}, steady state over "
+               f"{steps} steps)"),
+        headers=["configuration", "bytes / node / step"],
+    )
+    for name, options in configurations.items():
+        topology = uniform_topology(nodes, radius, rng=42)
+        sim = StepSimulator(topology, standard_stack(topology=topology,
+                                                     **options), rng=rng)
+        sim.run(10)  # converge first: steady-state payloads are the point
+        sim.traffic = type(sim.traffic)()
+        sim.run(steps)
+        table.add_row([name,
+                       sim.traffic.mean_bytes_per_step() / len(topology.graph)])
+    return table

@@ -1,0 +1,62 @@
+"""Scalability experiment: routing state, flat vs hierarchical.
+
+The paper's introduction motivates clustering with the scalability of
+hierarchical routing; this experiment quantifies it on the reproduced
+stack.  For growing deployments it reports the mean per-node routing
+state under flat routing (``n - 1``) and under the cluster hierarchy, and
+the path-stretch price paid for the savings.
+"""
+
+import numpy as np
+
+from repro.graph.generators import uniform_topology
+from repro.graph.paths import connected_components
+from repro.hierarchy.hierarchy import build_hierarchy
+from repro.hierarchy.routing import route_stretch
+from repro.metrics.tables import Table
+from repro.util.rng import as_rng, spawn_rngs
+
+
+def _largest_component_topology(topology):
+    components = connected_components(topology.graph)
+    largest = max(components, key=len)
+    if len(largest) == len(topology.graph):
+        return topology
+    from repro.graph.generators import Topology
+    graph = topology.graph.induced_subgraph(largest)
+    positions = {n: topology.positions[n] for n in largest} \
+        if topology.positions else None
+    ids = {n: topology.ids[n] for n in largest}
+    return Topology(graph, positions=positions, ids=ids,
+                    radius=topology.radius)
+
+
+def run_scalability(sizes=(200, 400, 800), radius=0.12, pairs=40, rng=None):
+    """Routing state and stretch per deployment size; returns a Table."""
+    rng = as_rng(rng)
+    table = Table(
+        title=("Scalability: per-node routing state, flat vs hierarchical "
+               f"(R={radius}, {pairs} sampled pairs)"),
+        headers=["nodes", "flat state", "hier state", "savings x",
+                 "levels", "mean stretch"],
+    )
+    for size, run_rng in zip(sizes, spawn_rngs(rng, len(sizes))):
+        topology = _largest_component_topology(
+            uniform_topology(size, radius, rng=run_rng))
+        hierarchy = build_hierarchy(topology, rng=run_rng)
+        nodes = topology.graph.nodes
+        flat_state = len(nodes) - 1
+        hier_state = float(np.mean([hierarchy.routing_state(n)
+                                    for n in nodes]))
+        stretches = []
+        node_array = list(nodes)
+        for _ in range(pairs):
+            a, b = run_rng.choice(len(node_array), 2, replace=False)
+            _, _, stretch = route_stretch(hierarchy, node_array[int(a)],
+                                          node_array[int(b)])
+            stretches.append(stretch)
+        table.add_row([len(nodes), flat_state, hier_state,
+                       flat_state / max(hier_state, 1e-9),
+                       hierarchy.depth,
+                       float(np.mean(stretches))])
+    return table

@@ -1,0 +1,100 @@
+"""Empirical validation of the stabilization claims (Theorem 1, Lemmas 1-2).
+
+Two experiments over the real distributed stack:
+
+* **Scaling**: stabilization steps from a cold boot on grids of growing
+  side.  Without the DAG, the adversarial identifier layout makes the
+  joining tree span the network, so stabilization grows with the diameter;
+  with the DAG it stays near-constant -- the entire point of Section 4.1.
+* **Recovery**: steps to re-stabilize after transient faults of various
+  classes, from a previously legitimate state (the self-stabilization
+  property itself).
+"""
+
+from repro.experiments.common import get_preset
+from repro.graph.generators import grid_topology
+from repro.metrics.tables import Table
+from repro.protocols.stack import standard_stack
+from repro.runtime.simulator import StepSimulator
+from repro.stabilization.faults import (
+    clear_caches,
+    duplicate_dag_ids,
+    garbage_shared,
+    total_corruption,
+)
+from repro.stabilization.monitor import recovery_time, steps_to_legitimacy
+from repro.stabilization.predicates import make_stack_predicate
+from repro.util.rng import as_rng, spawn_rngs
+
+FAULTS = {
+    "garbage shared state": garbage_shared,
+    "cold caches": clear_caches,
+    "duplicated DAG names": duplicate_dag_ids,
+    "total corruption": total_corruption,
+}
+
+
+def cold_boot_steps(side, use_dag, rng, radius_cells=1.6, max_steps=None):
+    """Stabilization steps from a cold boot on a ``side x side`` grid.
+
+    ``radius_cells`` sets the transmission range in units of grid spacing
+    (1.6 gives the 8-neighborhood of the paper's R=0.05 scenario).
+    """
+    rng = as_rng(rng)
+    spacing = 1.0 / max(side - 1, 1)
+    topology = grid_topology(side, side, radius_cells * spacing)
+    stack = standard_stack(topology=topology, use_dag=use_dag)
+    simulator = StepSimulator(topology, stack, rng=rng)
+    predicate = make_stack_predicate(use_dag=use_dag)
+    budget = max_steps if max_steps is not None else 40 + 12 * side
+    return steps_to_legitimacy(simulator, predicate, budget)
+
+
+def run_scaling_experiment(sides=(4, 6, 8, 10, 12), runs=3, rng=None):
+    """Stabilization steps vs grid side, with and without the DAG."""
+    table = Table(
+        title=("Stabilization steps from cold boot vs grid side "
+               f"({runs} runs; expectation: no-DAG grows with side, "
+               "DAG stays near-constant)"),
+        headers=["grid side", "diameter-ish", "steps (no DAG)",
+                 "steps (with DAG)"],
+    )
+    rngs = spawn_rngs(rng, 2 * runs * len(sides))
+    rng_iter = iter(rngs)
+    for side in sides:
+        totals = {}
+        for use_dag in (False, True):
+            total = 0.0
+            for _ in range(runs):
+                report = cold_boot_steps(side, use_dag, next(rng_iter))
+                total += report.steps if report.converged \
+                    else float(report.budget)
+            totals[use_dag] = total / runs
+        table.add_row([side, side - 1, totals[False], totals[True]])
+    return table
+
+
+def run_recovery_experiment(preset="quick", side=8, rng=None, max_steps=400):
+    """Steps to recover legitimacy after each fault class."""
+    preset = get_preset(preset)
+    table = Table(
+        title=(f"Fault recovery on a {side}x{side} grid with DAG "
+               f"({preset.runs} runs)"),
+        headers=["fault", "mean recovery steps", "all converged"],
+    )
+    for fault_name, fault in FAULTS.items():
+        total = 0.0
+        all_converged = True
+        for run_rng in spawn_rngs(rng, preset.runs):
+            spacing = 1.0 / (side - 1)
+            topology = grid_topology(side, side, 1.6 * spacing)
+            stack = standard_stack(topology=topology, use_dag=True)
+            simulator = StepSimulator(topology, stack, rng=run_rng)
+            predicate = make_stack_predicate(use_dag=True)
+            steps_to_legitimacy(simulator, predicate, max_steps)
+            report = recovery_time(simulator, fault, predicate, max_steps)
+            total += report.steps
+            all_converged = all_converged and report.converged
+        table.add_row([fault_name, total / preset.runs,
+                       "yes" if all_converged else "NO"])
+    return table

@@ -1,0 +1,39 @@
+"""Table 1: densities on the illustrative Figure 1 example.
+
+Deterministic: the reconstruction of the example topology must reproduce
+the paper's neighbor counts, link counts and densities exactly.
+"""
+
+from fractions import Fraction
+
+from repro.clustering.density import all_densities, edges_among
+from repro.experiments.paper_values import TABLE1
+from repro.graph.generators import figure1_topology
+from repro.metrics.tables import Table
+
+
+def run_table1():
+    """Recompute Table 1; returns (table, exact_match: bool)."""
+    topology = figure1_topology()
+    graph = topology.graph
+    densities = all_densities(graph, exact=True)
+    table = Table(
+        title="Table 1: densities on the Figure 1 example (paper in parens)",
+        headers=["node", "#neighbors", "#links", "density", "paper"],
+    )
+    exact = True
+    for node in sorted(graph.nodes):
+        neighbors = graph.neighbors(node)
+        links = len(neighbors) + edges_among(graph, neighbors)
+        expected = TABLE1[node]
+        measured = (len(neighbors), links, float(densities[node]))
+        exact = exact and measured == expected
+        table.add_row([node, len(neighbors), links, float(densities[node]),
+                       f"({expected[0]}, {expected[1]}, {expected[2]})"])
+    return table, exact
+
+
+def figure1_expected_densities():
+    """The paper's densities as exact fractions (for tests)."""
+    return {node: Fraction(values[2]).limit_denominator(8)
+            for node, values in TABLE1.items()}

@@ -1,0 +1,51 @@
+"""Table 3: steps needed to build the DAG.
+
+For each transmission range R and both deployments (grid, random
+geometry), run the Section 5 renaming -- each node draws a DAG identifier
+in ``[0, δ²)``, conflicting neighbors with the smallest normal identifier
+re-draw -- and report the mean number of steps to local uniqueness.
+"""
+
+from repro.experiments.common import build_topology, get_preset, per_run_rngs
+from repro.experiments.paper_values import TABLE3, TABLE3_RADII
+from repro.metrics.tables import Table
+from repro.naming.namespace import NameSpace, recommended_size
+from repro.naming.renaming import PoliteRenaming
+
+
+def dag_build_rounds(topology, rng):
+    """Rounds to build the DAG over one topology (Table 3 cell sample)."""
+    delta = topology.graph.max_degree()
+    namespace = NameSpace(recommended_size(delta))
+    result = PoliteRenaming(namespace=namespace).run(
+        topology.graph, rng=rng, tie_ids=topology.ids)
+    return result.rounds
+
+
+def run_table3(preset="quick", radii=TABLE3_RADII, rng=None):
+    """Mean DAG-construction steps per (deployment, R); returns a Table."""
+    preset = get_preset(preset)
+    table = Table(
+        title=(f"Table 3: steps to build the DAG "
+               f"(lambda={preset.intensity}, {preset.runs} runs; "
+               "paper in parens)"),
+        headers=["R", "grid", "grid paper", "random", "random paper"],
+    )
+    rngs = per_run_rngs(rng, preset.runs * len(radii) * 2)
+    rng_iter = iter(rngs)
+    for radius in radii:
+        means = {}
+        for kind in ("grid", "random"):
+            total = 0.0
+            for _ in range(preset.runs):
+                run_rng = next(rng_iter)
+                topology = build_topology(kind, preset.intensity, radius,
+                                          run_rng)
+                total += dag_build_rounds(topology, run_rng)
+            means[kind] = total / preset.runs
+        table.add_row([
+            radius,
+            means["grid"], f"({TABLE3['grid'].get(radius, '-')})",
+            means["random"], f"({TABLE3['random'].get(radius, '-')})",
+        ])
+    return table

@@ -1,0 +1,54 @@
+"""Table 4: cluster features on random geometric graphs.
+
+For each R in {0.05, 0.08, 0.1}, Poisson deployments of intensity 1000
+are clustered with and without the DAG layer; the reported statistics are
+the number of clusters, the mean cluster-head eccentricity and the mean
+joining-tree length.  The paper's finding: on homogeneous random
+deployments the DAG changes nothing measurable, because identifier
+tie-breaks are almost never exercised.
+"""
+
+from repro.experiments.common import (
+    build_topology,
+    clustered,
+    get_preset,
+    per_run_rngs,
+)
+from repro.experiments.paper_values import TABLE4, TABLE4_RADII
+from repro.metrics.clusters import cluster_stats, mean_stats
+from repro.metrics.tables import Table
+
+
+def clustering_statistics(kind, preset, radius, rng, use_dag):
+    """Mean :class:`ClusterStats` over ``preset.runs`` deployments."""
+    stats = []
+    for run_rng in per_run_rngs(rng, preset.runs):
+        topology = build_topology(kind, preset.intensity, radius, run_rng)
+        clustering, _dag_ids = clustered(topology, rng=run_rng,
+                                         use_dag=use_dag)
+        stats.append(cluster_stats(clustering))
+    return mean_stats(stats)
+
+
+def run_table4(preset="quick", radii=TABLE4_RADII, rng=None):
+    """Regenerate Table 4; returns a Table."""
+    preset = get_preset(preset)
+    table = Table(
+        title=(f"Table 4: clusters on random geometric graphs "
+               f"(lambda={preset.intensity}, {preset.runs} runs; "
+               "paper in parens)"),
+        headers=["R", "DAG", "#clusters", "eccentricity", "tree length",
+                 "paper (#, ecc, tree)"],
+    )
+    rngs = per_run_rngs(rng, 2 * len(radii))
+    rng_iter = iter(rngs)
+    for radius in radii:
+        for use_dag, label in ((True, "with"), (False, "no")):
+            stats = clustering_statistics("random", preset, radius,
+                                          next(rng_iter), use_dag)
+            reference = TABLE4.get(radius, {}).get(
+                "with" if use_dag else "without", "-")
+            table.add_row([radius, label, stats.cluster_count,
+                           stats.mean_head_eccentricity,
+                           stats.mean_tree_length, f"({reference})"])
+    return table

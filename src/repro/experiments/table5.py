@@ -1,0 +1,54 @@
+"""Table 5: cluster features on the adversarial grid.
+
+Nodes on a regular grid with identifiers increasing left-to-right and
+bottom-to-top: all interior nodes share the same density, so the
+identifier is the only tie-break and -- without the DAG -- every node
+ultimately joins a single cluster whose joining tree spans the network
+(Figure 2).  With locally unique random DAG names the tie-breaks decouple
+and many small clusters emerge (Figure 3).
+"""
+
+from repro.experiments.common import build_topology, clustered, get_preset, \
+    per_run_rngs
+from repro.experiments.paper_values import TABLE4_RADII, TABLE5
+from repro.metrics.clusters import cluster_stats, mean_stats
+from repro.metrics.tables import Table
+
+
+def grid_statistics(preset, radius, rng, use_dag):
+    """Mean :class:`ClusterStats` over grid runs.
+
+    The grid itself is deterministic; runs differ only in DAG name draws,
+    so the no-DAG case needs a single run.
+    """
+    runs = preset.runs if use_dag else 1
+    stats = []
+    for run_rng in per_run_rngs(rng, runs):
+        topology = build_topology("grid", preset.intensity, radius, run_rng)
+        clustering, _dag_ids = clustered(topology, rng=run_rng,
+                                         use_dag=use_dag)
+        stats.append(cluster_stats(clustering))
+    return mean_stats(stats)
+
+
+def run_table5(preset="quick", radii=TABLE4_RADII, rng=None):
+    """Regenerate Table 5; returns a Table."""
+    preset = get_preset(preset)
+    table = Table(
+        title=(f"Table 5: clusters on the grid with sequential ids "
+               f"(~{preset.intensity} nodes, {preset.runs} runs; "
+               "paper in parens)"),
+        headers=["R", "DAG", "#clusters", "eccentricity", "tree length",
+                 "paper (#, ecc, tree)"],
+    )
+    rngs = per_run_rngs(rng, 2 * len(radii))
+    rng_iter = iter(rngs)
+    for radius in radii:
+        for use_dag, label in ((True, "with"), (False, "no")):
+            stats = grid_statistics(preset, radius, next(rng_iter), use_dag)
+            reference = TABLE5.get(radius, {}).get(
+                "with" if use_dag else "without", "-")
+            table.add_row([radius, label, stats.cluster_count,
+                           stats.mean_head_eccentricity,
+                           stats.mean_tree_length, f"({reference})"])
+    return table

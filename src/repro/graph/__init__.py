@@ -1,0 +1,51 @@
+"""Wireless-network graph substrate: graphs, geometry, generators, paths."""
+
+from repro.graph.generators import (
+    Topology,
+    complete_topology,
+    figure1_topology,
+    grid_topology,
+    line_topology,
+    poisson_topology,
+    ring_topology,
+    square_grid_topology,
+    star_topology,
+    uniform_topology,
+)
+from repro.graph.geometry import pairwise_within_range, unit_disk_graph
+from repro.graph.graph import Graph
+from repro.graph.quasi_udg import quasi_uniform_topology, quasi_unit_disk_graph
+from repro.graph.paths import (
+    INFINITY,
+    bfs_distances,
+    connected_components,
+    diameter,
+    eccentricity,
+    hop_distance,
+    is_connected,
+)
+
+__all__ = [
+    "Graph",
+    "Topology",
+    "INFINITY",
+    "bfs_distances",
+    "complete_topology",
+    "connected_components",
+    "diameter",
+    "eccentricity",
+    "figure1_topology",
+    "grid_topology",
+    "hop_distance",
+    "is_connected",
+    "line_topology",
+    "pairwise_within_range",
+    "poisson_topology",
+    "quasi_uniform_topology",
+    "quasi_unit_disk_graph",
+    "ring_topology",
+    "square_grid_topology",
+    "star_topology",
+    "uniform_topology",
+    "unit_disk_graph",
+]

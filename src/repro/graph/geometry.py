@@ -1,0 +1,79 @@
+"""Geometric support: positions in the unit square and unit-disk graphs.
+
+The paper deploys nodes in a ``1 x 1`` square with transmission range ``R``
+between 0.05 and 0.1; two nodes are linked iff their Euclidean distance is
+at most ``R``.  Building that unit-disk graph naively is ``O(n^2)``; for the
+1000-node workloads of Tables 3-5 we bin points into a cell grid of side
+``R`` so only the 9 surrounding cells are scanned per node.
+"""
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.util.errors import ConfigurationError
+
+
+def pairwise_within_range(positions, radius):
+    """Yield index pairs ``(i, j)``, ``i < j``, with distance <= ``radius``.
+
+    ``positions`` is an ``(n, 2)`` array.  Uses cell binning: correctness is
+    independent of the binning, which tests verify against brute force.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ConfigurationError("positions must be an (n, 2) array")
+    if radius <= 0:
+        raise ConfigurationError(f"radius must be positive, got {radius}")
+    n = len(positions)
+    cells = {}
+    cell_of = np.floor(positions / radius).astype(np.int64)
+    for i in range(n):
+        cells.setdefault((cell_of[i, 0], cell_of[i, 1]), []).append(i)
+    r2 = radius * radius
+    for (cx, cy), members in cells.items():
+        # Within-cell pairs.
+        for a in range(len(members)):
+            i = members[a]
+            for b in range(a + 1, len(members)):
+                j = members[b]
+                if _dist2(positions, i, j) <= r2:
+                    yield (i, j) if i < j else (j, i)
+        # Pairs with half of the surrounding cells (each cell pair once).
+        for dx, dy in ((1, -1), (1, 0), (1, 1), (0, 1)):
+            other = cells.get((cx + dx, cy + dy))
+            if not other:
+                continue
+            for i in members:
+                for j in other:
+                    if _dist2(positions, i, j) <= r2:
+                        yield (i, j) if i < j else (j, i)
+
+
+def _dist2(positions, i, j):
+    dx = positions[i, 0] - positions[j, 0]
+    dy = positions[i, 1] - positions[j, 1]
+    return dx * dx + dy * dy
+
+
+def unit_disk_graph(positions, radius, node_ids=None):
+    """Build the unit-disk :class:`Graph` over ``positions``.
+
+    ``node_ids`` maps point index -> node identifier; defaults to the index
+    itself.  Returns ``(graph, positions_by_id)`` where the second element is
+    a dict from node id to its ``(x, y)`` position.
+    """
+    positions = np.asarray(positions, dtype=float)
+    n = len(positions)
+    if node_ids is None:
+        node_ids = list(range(n))
+    elif len(node_ids) != n:
+        raise ConfigurationError(
+            f"node_ids has {len(node_ids)} entries for {n} positions")
+    if len(set(node_ids)) != n:
+        raise ConfigurationError("node identifiers must be unique")
+    graph = Graph(nodes=node_ids)
+    for i, j in pairwise_within_range(positions, radius):
+        graph.add_edge(node_ids[i], node_ids[j])
+    positions_by_id = {node_ids[i]: (float(positions[i, 0]), float(positions[i, 1]))
+                       for i in range(n)}
+    return graph, positions_by_id

@@ -1,0 +1,172 @@
+"""Undirected graph with the neighborhood vocabulary of the paper.
+
+The paper's model (Section 3): a set ``V`` of nodes with unique identifiers;
+``Np`` is the 1-neighborhood of ``p`` (``p`` itself excluded); communication
+is bidirectional; ``N^i_p`` is the i-neighborhood.  This module implements
+that model directly, with the symmetry invariant enforced on every mutation.
+"""
+
+from repro.util.errors import TopologyError
+
+
+class Graph:
+    """An undirected graph over hashable node identifiers.
+
+    Adjacency is stored as ``dict[node, set[node]]``.  Self-loops are
+    rejected (the paper requires ``p not in Np``) and edges are always
+    symmetric (``q in Np  iff  p in Nq``).
+    """
+
+    def __init__(self, nodes=(), edges=()):
+        self._adj = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node):
+        """Add ``node`` if not already present."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_edge(self, u, v):
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
+        if u == v:
+            raise TopologyError(f"self-loop on node {u!r} is not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u, v):
+        """Remove the undirected edge ``{u, v}``; missing edges are errors."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError:
+            raise TopologyError(f"edge ({u!r}, {v!r}) not in graph") from None
+
+    def remove_node(self, node):
+        """Remove ``node`` and all its incident edges."""
+        if node not in self._adj:
+            raise TopologyError(f"node {node!r} not in graph")
+        for neighbor in self._adj[node]:
+            self._adj[neighbor].discard(node)
+        del self._adj[node]
+
+    def copy(self):
+        """Return an independent copy of this graph."""
+        clone = Graph()
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, node):
+        return node in self._adj
+
+    def __len__(self):
+        return len(self._adj)
+
+    def __iter__(self):
+        return iter(self._adj)
+
+    @property
+    def nodes(self):
+        """All node identifiers, in insertion order."""
+        return list(self._adj)
+
+    @property
+    def edges(self):
+        """Each undirected edge once, as a sorted-by-insertion (u, v) pair."""
+        seen = set()
+        result = []
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if (v, u) not in seen:
+                    seen.add((u, v))
+                    result.append((u, v))
+        return result
+
+    def has_edge(self, u, v):
+        """True iff the undirected edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node):
+        """``Np``: the 1-neighborhood of ``node`` (node itself excluded)."""
+        if node not in self._adj:
+            raise TopologyError(f"node {node!r} not in graph")
+        return set(self._adj[node])
+
+    def closed_neighbors(self, node):
+        """``{p} ∪ Np``: node plus its 1-neighborhood."""
+        closed = self.neighbors(node)
+        closed.add(node)
+        return closed
+
+    def degree(self, node):
+        """``|Np|``."""
+        if node not in self._adj:
+            raise TopologyError(f"node {node!r} not in graph")
+        return len(self._adj[node])
+
+    def max_degree(self):
+        """``δ``: the maximum degree over all nodes (0 for an empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def k_neighborhood(self, node, k):
+        """``N^k_p``: every node within ``k`` hops of ``node``, excluding it.
+
+        Matches the paper's recursive definition
+        ``N^i_p = N^{i-1}_p ∪ {r | ∃q ∈ N^{i-1}_p, r ∈ Nq}`` (minus ``p``).
+        """
+        if k < 1:
+            raise TopologyError(f"k must be >= 1, got {k}")
+        frontier = self.neighbors(node)
+        reached = set(frontier)
+        for _ in range(k - 1):
+            frontier = {r for q in frontier for r in self._adj[q]} - reached - {node}
+            if not frontier:
+                break
+            reached |= frontier
+        reached.discard(node)
+        return reached
+
+    def edge_count(self):
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def induced_subgraph(self, nodes):
+        """The subgraph induced by ``nodes`` (unknown nodes are errors)."""
+        keep = set(nodes)
+        missing = keep - set(self._adj)
+        if missing:
+            raise TopologyError(f"nodes not in graph: {sorted(missing, key=repr)}")
+        sub = Graph(nodes=keep)
+        for u in keep:
+            for v in self._adj[u]:
+                if v in keep:
+                    sub._adj[u].add(v)
+        return sub
+
+    def check_symmetry(self):
+        """Verify the bidirectional-links invariant; raise if violated.
+
+        Exists for tests and for defensive validation after bulk mutations;
+        the mutating methods preserve symmetry by construction.
+        """
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u not in self._adj.get(v, ()):
+                    raise TopologyError(f"asymmetric edge: {u!r} -> {v!r}")
+
+    def __repr__(self):
+        return f"Graph(n={len(self)}, m={self.edge_count()})"

@@ -1,0 +1,75 @@
+"""Hop-distance computations: BFS, eccentricity, diameter, components.
+
+The paper's metrics are hop-based: ``d(u, v)`` is the minimum number of hops
+and ``e(H(u)/C) = max_{v in C(u)} d(H(u), v)`` is the eccentricity of a
+cluster-head inside its cluster.  All functions here operate on
+:class:`~repro.graph.graph.Graph` instances.
+"""
+
+from collections import deque
+
+from repro.util.errors import TopologyError
+
+INFINITY = float("inf")
+
+
+def bfs_distances(graph, source):
+    """Hop distance from ``source`` to every reachable node (source -> 0)."""
+    if source not in graph:
+        raise TopologyError(f"source {source!r} not in graph")
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def hop_distance(graph, u, v):
+    """Minimum hop count from ``u`` to ``v``; ``inf`` if disconnected."""
+    if v not in graph:
+        raise TopologyError(f"node {v!r} not in graph")
+    return bfs_distances(graph, u).get(v, INFINITY)
+
+
+def eccentricity(graph, node, within=None):
+    """Max hop distance from ``node`` to the nodes of ``within``.
+
+    ``within`` defaults to all of ``graph``.  If some target is unreachable
+    the eccentricity is ``inf``.
+    """
+    targets = set(within) if within is not None else set(graph.nodes)
+    missing = targets - set(graph.nodes)
+    if missing:
+        raise TopologyError(f"targets not in graph: {sorted(missing, key=repr)}")
+    if not targets:
+        raise TopologyError("eccentricity over an empty target set")
+    distances = bfs_distances(graph, node)
+    return max(distances.get(target, INFINITY) for target in targets)
+
+
+def diameter(graph):
+    """Max eccentricity over all nodes; ``inf`` if disconnected, 0 if empty."""
+    if len(graph) == 0:
+        return 0
+    return max(eccentricity(graph, node) for node in graph)
+
+
+def connected_components(graph):
+    """List of node sets, one per connected component."""
+    remaining = set(graph.nodes)
+    components = []
+    while remaining:
+        start = next(iter(remaining))
+        component = set(bfs_distances(graph, start))
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_connected(graph):
+    """True iff the graph has at most one connected component."""
+    return len(connected_components(graph)) <= 1

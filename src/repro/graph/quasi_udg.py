@@ -1,0 +1,63 @@
+"""Quasi unit-disk graphs: the standard relaxation of the UDG radio model.
+
+Real radios have no sharp range edge.  In the quasi-UDG model with inner
+radius ``r_min`` and outer radius ``r_max``:
+
+* pairs closer than ``r_min`` are always linked;
+* pairs beyond ``r_max`` never are;
+* pairs in the gray zone are linked with probability decaying linearly
+  from 1 at ``r_min`` to 0 at ``r_max``.
+
+Links are decided once per pair, so the result remains an undirected
+graph satisfying the paper's bidirectional-communication assumption.
+Used by robustness tests to check the clustering stack off the idealized
+disk model.
+"""
+
+import numpy as np
+
+from repro.graph.generators import Topology
+from repro.graph.geometry import pairwise_within_range
+from repro.graph.graph import Graph
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+
+def quasi_unit_disk_graph(positions, r_min, r_max, rng=None, node_ids=None):
+    """Build a quasi-UDG over ``positions``; returns (graph, positions)."""
+    if not 0 < r_min <= r_max:
+        raise ConfigurationError(
+            f"need 0 < r_min <= r_max, got {r_min}, {r_max}")
+    rng = as_rng(rng)
+    positions = np.asarray(positions, dtype=float)
+    n = len(positions)
+    if node_ids is None:
+        node_ids = list(range(n))
+    elif len(node_ids) != n:
+        raise ConfigurationError(
+            f"node_ids has {len(node_ids)} entries for {n} positions")
+    graph = Graph(nodes=node_ids)
+    span = r_max - r_min
+    for i, j in pairwise_within_range(positions, r_max):
+        distance = float(np.hypot(*(positions[i] - positions[j])))
+        if distance <= r_min:
+            graph.add_edge(node_ids[i], node_ids[j])
+        elif span > 0:
+            keep_probability = (r_max - distance) / span
+            if rng.random() < keep_probability:
+                graph.add_edge(node_ids[i], node_ids[j])
+    positions_by_id = {node_ids[i]: (float(positions[i, 0]),
+                                     float(positions[i, 1]))
+                       for i in range(n)}
+    return graph, positions_by_id
+
+
+def quasi_uniform_topology(count, r_min, r_max, rng=None, side=1.0):
+    """``count`` uniform nodes in a square, linked by the quasi-UDG model."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    rng = as_rng(rng)
+    positions = rng.uniform(0.0, side, size=(count, 2))
+    graph, positions_by_id = quasi_unit_disk_graph(positions, r_min, r_max,
+                                                   rng=rng)
+    return Topology(graph, positions=positions_by_id, radius=r_max)

@@ -1,0 +1,133 @@
+"""Multi-level cluster hierarchies.
+
+Level 0 is the physical topology; level ``l + 1`` is the density-driven
+clustering of level ``l``'s overlay.  Construction stops when one cluster
+spans the level (or a level cap is hit).  Each physical node then has a
+*hierarchical address*: the chain of heads it belongs to, one per level --
+the structure hierarchical routing schemes (the paper's refs [14], [17])
+assume some clustering layer provides.
+"""
+
+from dataclasses import dataclass
+
+from repro.clustering.oracle import compute_clustering
+from repro.naming.assign import assign_dag_ids
+from repro.hierarchy.overlay import overlay_topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+DEFAULT_MAX_LEVELS = 8
+
+
+@dataclass(frozen=True)
+class HierarchyLevel:
+    """One level: its topology, its clustering, and the overlay above it."""
+
+    index: int
+    topology: object
+    clustering: object
+    overlay: object  # None for the top level
+
+
+class Hierarchy:
+    """An immutable stack of clustered levels over a physical topology."""
+
+    def __init__(self, levels):
+        if not levels:
+            raise ConfigurationError("a hierarchy needs at least one level")
+        self.levels = list(levels)
+
+    @property
+    def depth(self):
+        """Number of clustered levels."""
+        return len(self.levels)
+
+    @property
+    def physical(self):
+        """The level-0 (physical) layer."""
+        return self.levels[0]
+
+    def heads_at(self, level):
+        """The cluster-heads of the given level."""
+        return self.levels[level].clustering.heads
+
+    def address(self, node):
+        """The hierarchical address: ``[node, H_0(node), H_1(...), ...]``.
+
+        Consecutive duplicates collapse (a head addresses itself at the
+        next level), so the address ends at the node's top-level head.
+        """
+        if node not in self.levels[0].topology.graph:
+            raise ConfigurationError(f"{node!r} is not a physical node")
+        chain = [node]
+        current = node
+        for level in self.levels:
+            head = level.clustering.head(current)
+            if head != chain[-1]:
+                chain.append(head)
+            current = head
+        return chain
+
+    def common_level(self, a, b):
+        """The smallest level at which ``a`` and ``b`` share a head.
+
+        Returns ``None`` when they never merge (disconnected networks).
+        """
+        current_a, current_b = a, b
+        for index, level in enumerate(self.levels):
+            current_a = level.clustering.head(current_a)
+            current_b = level.clustering.head(current_b)
+            if current_a == current_b:
+                return index
+        return None
+
+    def routing_state(self, node):
+        """Entries a hierarchical routing table at ``node`` holds.
+
+        Standard cluster-routing accounting: a node keeps one route per
+        other member of its cluster at every level it participates in (a
+        node participates at level ``l + 1`` iff it heads its level-``l``
+        cluster).  The flat-routing counterpart is ``n - 1`` routes at
+        every node -- the scalability argument of the paper's
+        introduction.
+        """
+        total = 0
+        current = node
+        for level in self.levels:
+            if current not in level.topology.graph:
+                break
+            clustering = level.clustering
+            head = clustering.head(current)
+            total += len(clustering.members(head)) - 1
+            if head != current:
+                break  # not a head here: participates no further up
+        return total
+
+
+def build_hierarchy(topology, rng=None, use_dag=True, order="basic",
+                    fusion=False, max_levels=DEFAULT_MAX_LEVELS):
+    """Cluster repeatedly until a single cluster (or ``max_levels``).
+
+    Each level gets fresh DAG names sized to its own maximum degree when
+    ``use_dag`` is set, exactly as the flat algorithm prescribes.
+    """
+    if max_levels < 1:
+        raise ConfigurationError(f"max_levels must be >= 1, got {max_levels}")
+    rng = as_rng(rng)
+    levels = []
+    current = topology
+    for index in range(max_levels):
+        dag_ids = None
+        if use_dag and current.graph.edge_count() > 0:
+            dag_ids, _rounds = assign_dag_ids(current, rng)
+        clustering = compute_clustering(current.graph, tie_ids=current.ids,
+                                        dag_ids=dag_ids, order=order,
+                                        fusion=fusion)
+        done = clustering.cluster_count <= 1 or index == max_levels - 1
+        overlay = None if done else overlay_topology(current, clustering)
+        levels.append(HierarchyLevel(index=index, topology=current,
+                                     clustering=clustering, overlay=overlay))
+        if done:
+            break
+        current = overlay.topology
+    return Hierarchy(levels)

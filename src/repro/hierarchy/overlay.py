@@ -1,0 +1,81 @@
+"""The cluster overlay graph: level l+1's topology.
+
+Once clusters exist, hierarchical routing treats each cluster as one
+super-node headed by its cluster-head.  Two heads are adjacent in the
+overlay iff some member of one cluster is a physical neighbor of some
+member of the other; the physical edge realizing the adjacency is the
+*gateway* used to expand overlay hops back into physical paths.
+
+This is the substrate for the paper's announced future work ("we also
+plan to study hierarchical self-stabilization algorithms") and for the
+scalability motivation of its introduction.
+"""
+
+from dataclasses import dataclass
+
+from repro.graph.generators import Topology
+from repro.graph.graph import Graph
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Overlay:
+    """The overlay topology plus the gateway realizing each overlay edge.
+
+    ``gateways`` maps a frozenset ``{head_a, head_b}`` to a physical edge
+    ``(u, v)`` with ``u`` in ``head_a``'s cluster and ``v`` in
+    ``head_b``'s (orientation normalized to the frozenset's sorted order).
+    """
+
+    topology: Topology
+    gateways: dict
+
+
+def overlay_topology(topology, clustering):
+    """Build the overlay over ``clustering``'s heads.
+
+    Head positions are inherited from the physical topology when known;
+    head identifiers keep their physical tie identifiers, so another round
+    of density clustering applies verbatim on the overlay.
+    """
+    if set(clustering.head_of) != set(topology.graph.nodes):
+        raise ConfigurationError(
+            "clustering does not cover the topology's nodes")
+    graph = Graph(nodes=clustering.heads)
+    gateways = {}
+    for u, v in topology.graph.edges:
+        head_u = clustering.head(u)
+        head_v = clustering.head(v)
+        if head_u == head_v:
+            continue
+        key = frozenset((head_u, head_v))
+        if key not in gateways:
+            graph.add_edge(head_u, head_v)
+            # Normalize orientation: first endpoint belongs to min(key).
+            first = min(key, key=repr)
+            if head_u == first:
+                gateways[key] = (u, v)
+            else:
+                gateways[key] = (v, u)
+    positions = None
+    if topology.positions:
+        positions = {head: topology.positions[head]
+                     for head in clustering.heads}
+    ids = {head: topology.ids[head] for head in clustering.heads}
+    overlay = Topology(graph, positions=positions, ids=ids,
+                       radius=topology.radius)
+    return Overlay(topology=overlay, gateways=gateways)
+
+
+def gateway_for(overlay, head_a, head_b):
+    """The physical edge ``(u, v)`` realizing the overlay edge, oriented
+    so ``u`` lies in ``head_a``'s cluster."""
+    key = frozenset((head_a, head_b))
+    if key not in overlay.gateways:
+        raise ConfigurationError(
+            f"heads {head_a!r} and {head_b!r} are not overlay neighbors")
+    u, v = overlay.gateways[key]
+    first = min(key, key=repr)
+    if head_a == first:
+        return (u, v)
+    return (v, u)

@@ -1,0 +1,113 @@
+"""Hierarchical routing over a 2-level cluster hierarchy.
+
+The up-over-down scheme every cluster-based routing paper assumes:
+
+1. route inside the source's cluster to the gateway toward the next
+   cluster on the overlay path;
+2. cross the gateway edge;
+3. repeat along the overlay path computed between the source's and
+   destination's heads;
+4. finish inside the destination's cluster.
+
+Intra-cluster legs follow shortest paths in the cluster-induced subgraph,
+overlay legs follow shortest paths in the overlay graph.  The *stretch*
+(hierarchical length / flat shortest-path length) quantifies what the
+routing-state savings cost; the scalability experiment reports both.
+"""
+
+from collections import deque
+
+from repro.graph.paths import bfs_distances
+from repro.hierarchy.overlay import gateway_for
+from repro.util.errors import ConfigurationError, TopologyError
+
+
+def shortest_path(graph, source, target):
+    """One shortest path (as a node list) or None when disconnected."""
+    if source not in graph or target not in graph:
+        raise TopologyError("endpoints must be in the graph")
+    if source == target:
+        return [source]
+    parents = {source: None}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in parents:
+                parents[neighbor] = node
+                if neighbor == target:
+                    return _unwind(parents, target)
+                queue.append(neighbor)
+    return None
+
+
+def _unwind(parents, target):
+    path = [target]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def _intra_cluster_path(level, head, source, target):
+    members = level.clustering.members(head)
+    subgraph = level.topology.graph.induced_subgraph(members)
+    path = shortest_path(subgraph, source, target)
+    if path is None:
+        raise TopologyError(
+            f"cluster of {head!r} is internally disconnected")
+    return path
+
+
+def hierarchical_route(hierarchy, source, destination):
+    """Physical node path from ``source`` to ``destination``; None when the
+    overlay offers no route (disconnected network).
+
+    Uses the level-0 clustering and the level-0 overlay; deeper levels
+    refine the overlay search space but the expansion below is already the
+    canonical 2-level scheme.
+    """
+    level = hierarchy.physical
+    if level.overlay is None and \
+            level.clustering.head(source) != level.clustering.head(destination):
+        return None
+    head_src = level.clustering.head(source)
+    head_dst = level.clustering.head(destination)
+    if head_src == head_dst:
+        return _intra_cluster_path(level, head_src, source, destination)
+
+    overlay = level.overlay
+    head_path = shortest_path(overlay.topology.graph, head_src, head_dst)
+    if head_path is None:
+        return None
+
+    route = [source]
+    current = source
+    for hop in range(len(head_path) - 1):
+        here, there = head_path[hop], head_path[hop + 1]
+        exit_node, entry_node = gateway_for(overlay, here, there)
+        leg = _intra_cluster_path(level, here, current, exit_node)
+        route.extend(leg[1:])
+        route.append(entry_node)
+        current = entry_node
+    tail = _intra_cluster_path(level, head_dst, current, destination)
+    route.extend(tail[1:])
+    return route
+
+
+def route_stretch(hierarchy, source, destination):
+    """``(hierarchical hops, flat shortest hops, stretch)`` for one pair.
+
+    Raises :class:`ConfigurationError` when the pair is disconnected.
+    """
+    graph = hierarchy.physical.topology.graph
+    flat = bfs_distances(graph, source).get(destination)
+    if flat is None:
+        raise ConfigurationError("pair is not connected")
+    if flat == 0:
+        return (0, 0, 1.0)
+    route = hierarchical_route(hierarchy, source, destination)
+    if route is None:
+        raise ConfigurationError("hierarchy offers no route for the pair")
+    hops = len(route) - 1
+    return (hops, flat, hops / flat)

@@ -1,0 +1,29 @@
+"""Evaluation metrics: cluster structure, head stability, table rendering."""
+
+from repro.metrics.clusters import ClusterStats, cluster_stats, mean_stats
+from repro.metrics.overhead import (
+    TrafficStats,
+    frame_bytes,
+    payload_bytes,
+    reaffiliations,
+)
+from repro.metrics.stability import (
+    RetentionSeries,
+    head_retention,
+    retention_over_clusterings,
+)
+from repro.metrics.tables import Table
+
+__all__ = [
+    "ClusterStats",
+    "RetentionSeries",
+    "Table",
+    "TrafficStats",
+    "cluster_stats",
+    "frame_bytes",
+    "head_retention",
+    "mean_stats",
+    "payload_bytes",
+    "reaffiliations",
+    "retention_over_clusterings",
+]

@@ -1,0 +1,47 @@
+"""Cluster-structure metrics: the rows of Tables 4 and 5."""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """The three per-topology statistics the paper reports.
+
+    ``cluster_count`` is per surface unit when ``area`` is supplied to
+    :func:`cluster_stats` (the paper's unit square makes the two coincide).
+    """
+
+    cluster_count: float
+    mean_head_eccentricity: float
+    mean_tree_length: float
+
+    def row(self):
+        """The (count, eccentricity, tree length) triple, Table 4/5 order."""
+        return (self.cluster_count, self.mean_head_eccentricity,
+                self.mean_tree_length)
+
+
+def cluster_stats(clustering, area=1.0):
+    """Compute the Table 4/5 statistics for one clustering."""
+    if area <= 0:
+        raise ConfigurationError(f"area must be positive, got {area}")
+    return ClusterStats(
+        cluster_count=clustering.cluster_count / area,
+        mean_head_eccentricity=clustering.average_head_eccentricity(),
+        mean_tree_length=clustering.average_tree_length(),
+    )
+
+
+def mean_stats(stats_list):
+    """Average a list of :class:`ClusterStats` (one per simulation run)."""
+    if not stats_list:
+        raise ConfigurationError("cannot average zero runs")
+    count = len(stats_list)
+    return ClusterStats(
+        cluster_count=sum(s.cluster_count for s in stats_list) / count,
+        mean_head_eccentricity=sum(s.mean_head_eccentricity
+                                   for s in stats_list) / count,
+        mean_tree_length=sum(s.mean_tree_length for s in stats_list) / count,
+    )

@@ -1,0 +1,58 @@
+"""Cluster-head stability metrics (the Section 5 mobility experiment).
+
+The paper's criterion: *the percentage of cluster-heads which remained
+cluster-heads after each 2 seconds*.  Given the head sets of consecutive
+evaluation windows, the per-window retention is
+``|heads_t ∩ heads_{t+1}| / |heads_t|`` and the reported figure is its
+mean over the run.
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+
+def head_retention(heads_before, heads_after):
+    """Fraction of previous heads still heads in the next window."""
+    heads_before = set(heads_before)
+    if not heads_before:
+        raise ConfigurationError("no heads in the previous window")
+    return len(heads_before & set(heads_after)) / len(heads_before)
+
+
+@dataclass
+class RetentionSeries:
+    """Accumulates per-window retention across a mobility run."""
+
+    values: list
+
+    def __init__(self):
+        self.values = []
+
+    def observe(self, heads_before, heads_after):
+        self.values.append(head_retention(heads_before, heads_after))
+
+    @property
+    def mean(self):
+        if not self.values:
+            raise ConfigurationError("no retention windows observed")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def percent(self):
+        """Mean retention as the percentage the paper quotes."""
+        return 100.0 * self.mean
+
+    def __len__(self):
+        return len(self.values)
+
+
+def retention_over_clusterings(clusterings):
+    """Retention series over an ordered sequence of clusterings."""
+    series = RetentionSeries()
+    previous = None
+    for clustering in clusterings:
+        if previous is not None:
+            series.observe(previous.heads, clustering.heads)
+        previous = clustering
+    return series

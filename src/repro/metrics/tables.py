@@ -1,0 +1,72 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment runner returns a :class:`Table`; benches print it so the
+benchmark logs show the same rows the paper's tables do, next to the
+paper's reference values where available.
+"""
+
+from repro.util.errors import ConfigurationError
+
+
+class Table:
+    """A titled grid of cells with a header row."""
+
+    def __init__(self, title, headers, rows=None):
+        self.title = title
+        self.headers = list(headers)
+        self.rows = []
+        for row in rows or []:
+            self.add_row(row)
+
+    def add_row(self, cells):
+        cells = list(cells)
+        if len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells for {len(self.headers)} headers")
+        self.rows.append(cells)
+
+    def formatted(self, precision=2):
+        """Render to aligned text."""
+        def fmt(cell):
+            if isinstance(cell, float):
+                return f"{cell:.{precision}f}"
+            return str(cell)
+
+        grid = [self.headers] + [[fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in grid)
+                  for i in range(len(self.headers))]
+        lines = [self.title]
+        for index, row in enumerate(grid):
+            lines.append("  ".join(cell.rjust(widths[i])
+                                   for i, cell in enumerate(row)))
+            if index == 0:
+                lines.append("  ".join("-" * widths[i]
+                                       for i in range(len(widths))))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.formatted()
+
+    def column(self, header):
+        """All cells of the named column."""
+        if header not in self.headers:
+            raise ConfigurationError(f"no column {header!r} in {self.headers}")
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self):
+        """Comma-separated rendering (header row first).
+
+        Cells containing commas or quotes are quoted per RFC 4180 so the
+        output loads into any spreadsheet or pandas.
+        """
+        def escape(cell):
+            text = str(cell)
+            if any(ch in text for ch in ",\"\n"):
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(escape(h) for h in self.headers)]
+        for row in self.rows:
+            lines.append(",".join(escape(cell) for cell in row))
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Node churn: the birth-death workload of self-organized networks.
+
+The paper's premise: *"every mobile can move everywhere, and thus can
+disappear or appear in the network at any time."*  Mobility covers the
+moving part; this process covers appearing and disappearing.  Each epoch,
+every present node departs with probability ``leave_probability`` and a
+``Poisson(arrival_rate)`` number of fresh nodes appears at uniform
+positions, with never-reused identifiers.
+"""
+
+import numpy as np
+
+from repro.graph.generators import Topology
+from repro.graph.geometry import unit_disk_graph
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+
+class ChurnProcess:
+    """Evolves a population of (node id, position) pairs epoch by epoch."""
+
+    def __init__(self, initial_count, radius, leave_probability,
+                 arrival_rate, side=1.0, rng=None):
+        if initial_count < 1:
+            raise ConfigurationError(
+                f"initial_count must be >= 1, got {initial_count}")
+        if not 0.0 <= leave_probability <= 1.0:
+            raise ConfigurationError(
+                f"leave_probability must be in [0, 1], got {leave_probability}")
+        if arrival_rate < 0:
+            raise ConfigurationError(
+                f"arrival_rate must be non-negative, got {arrival_rate}")
+        self.radius = float(radius)
+        self.leave_probability = float(leave_probability)
+        self.arrival_rate = float(arrival_rate)
+        self.side = float(side)
+        self.rng = as_rng(rng)
+        self._next_id = initial_count
+        self.population = {
+            node: tuple(self.rng.uniform(0.0, self.side, size=2))
+            for node in range(initial_count)
+        }
+
+    def epoch(self):
+        """Apply one epoch of departures and arrivals.
+
+        Returns ``(departed ids, arrived ids)``.  At least one node always
+        remains (an empty network has no protocol to observe).
+        """
+        departed = [node for node in self.population
+                    if self.rng.random() < self.leave_probability]
+        if len(departed) == len(self.population):
+            departed = departed[:-1]
+        for node in departed:
+            del self.population[node]
+        arrivals = int(self.rng.poisson(self.arrival_rate))
+        arrived = []
+        for _ in range(arrivals):
+            node = self._next_id
+            self._next_id += 1
+            self.population[node] = tuple(
+                self.rng.uniform(0.0, self.side, size=2))
+            arrived.append(node)
+        return departed, arrived
+
+    def topology(self):
+        """The unit-disk topology over the current population."""
+        node_ids = sorted(self.population)
+        positions = np.array([self.population[node] for node in node_ids])
+        graph, positions_by_id = unit_disk_graph(positions, self.radius,
+                                                 node_ids=node_ids)
+        return Topology(graph, positions=positions_by_id, radius=self.radius)
+
+    def __len__(self):
+        return len(self.population)

@@ -1,0 +1,68 @@
+"""Mobility traces: positions over time and per-window topologies."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.generators import Topology
+from repro.graph.geometry import unit_disk_graph
+from repro.util.errors import ConfigurationError
+
+
+def topology_at(positions, radius, ids=None):
+    """Unit-disk :class:`~repro.graph.generators.Topology` for a position
+    snapshot.  ``ids`` keeps node identifiers stable across windows."""
+    positions = np.asarray(positions, dtype=float)
+    node_ids = list(range(len(positions))) if ids is None else list(ids)
+    graph, positions_by_id = unit_disk_graph(positions, radius,
+                                             node_ids=node_ids)
+    return Topology(graph, positions=positions_by_id, radius=radius)
+
+
+@dataclass(frozen=True)
+class TraceFrame:
+    """One recorded snapshot of a mobility trace."""
+
+    time: float
+    positions: np.ndarray
+
+
+class Trace:
+    """A recorded mobility trace, replayable into topology snapshots."""
+
+    def __init__(self, frames):
+        self.frames = list(frames)
+        if not self.frames:
+            raise ConfigurationError("a trace needs at least one frame")
+        times = [frame.time for frame in self.frames]
+        if times != sorted(times):
+            raise ConfigurationError("trace frames must be time-ordered")
+
+    def __len__(self):
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    def topologies(self, radius):
+        """Yield ``(time, Topology)`` per frame."""
+        for frame in self.frames:
+            yield frame.time, topology_at(frame.positions, radius)
+
+
+def record_trace(model, duration, window):
+    """Advance ``model`` and record a frame every ``window`` seconds.
+
+    The frame at t=0 (the initial deployment) is included; ``duration`` is
+    covered inclusively when it is a multiple of ``window``.
+    """
+    if duration < 0 or window <= 0:
+        raise ConfigurationError(
+            f"need duration >= 0 and window > 0, got {duration}, {window}")
+    frames = [TraceFrame(time=0.0, positions=model.positions.copy())]
+    steps = int(round(duration / window))
+    for i in range(1, steps + 1):
+        model.advance(window)
+        frames.append(TraceFrame(time=i * window,
+                                 positions=model.positions.copy()))
+    return Trace(frames)

@@ -1,0 +1,36 @@
+"""Constant-height DAG construction (Section 4.1) and DAG analysis."""
+
+from repro.naming.assign import assign_dag_ids
+from repro.naming.dag import (
+    clustering_dag_height,
+    dag_height,
+    orient_by_key,
+    roots,
+    theorem1_height_bound,
+)
+from repro.naming.namespace import NameSpace, recommended_size
+from repro.naming.renaming import (
+    PoliteRenaming,
+    RandomizedRenaming,
+    RenamingResult,
+    conflicting_edges,
+    is_locally_unique,
+    new_id,
+)
+
+__all__ = [
+    "NameSpace",
+    "assign_dag_ids",
+    "PoliteRenaming",
+    "RandomizedRenaming",
+    "RenamingResult",
+    "clustering_dag_height",
+    "conflicting_edges",
+    "dag_height",
+    "is_locally_unique",
+    "new_id",
+    "orient_by_key",
+    "recommended_size",
+    "roots",
+    "theorem1_height_bound",
+]

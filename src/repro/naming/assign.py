@@ -1,0 +1,21 @@
+"""Convenience: run the Section 5 renaming over a whole topology."""
+
+from repro.naming.namespace import NameSpace, recommended_size
+from repro.naming.renaming import PoliteRenaming
+from repro.util.rng import as_rng
+
+
+def assign_dag_ids(topology, rng=None, initial_ids=None, namespace=None):
+    """DAG names for every node of ``topology`` via the polite renaming.
+
+    Returns ``(dag_ids, rounds)``.  ``initial_ids`` makes the run an
+    incremental repair (mobility keeps names across windows and only
+    conflicting nodes re-draw); ``namespace`` defaults to the recommended
+    ``δ²`` space for the topology's maximum degree.
+    """
+    if namespace is None:
+        namespace = NameSpace(recommended_size(topology.graph.max_degree()))
+    renamer = PoliteRenaming(namespace=namespace)
+    result = renamer.run(topology.graph, rng=as_rng(rng),
+                         initial_ids=initial_ids, tie_ids=topology.ids)
+    return result.ids, result.rounds

@@ -1,0 +1,76 @@
+"""DAG analysis: orientation by a key, height, and the Theorem 1 bound.
+
+Orienting every edge from the greater endpoint to the smaller (under any
+locally injective key) yields a DAG; its *height* (longest directed path,
+counted in edges) bounds the stabilization time of the downstream
+clustering (Lemma 2: information flows from the roots of ``DAG≺`` down,
+one level per expected-constant time unit).
+
+Theorem 1: renaming from a space ``γ`` self-stabilizes to a DAG of height
+at most ``|γ| + 1``.  Since a directed path strictly decreases the name at
+every hop, a path has at most ``|γ|`` nodes, i.e. ``|γ| - 1`` edges; the
+paper's ``|γ| + 1`` is the (coarser) node-count bound plus slack, so
+checking ``height_in_edges <= |γ| + 1`` is always safe.
+"""
+
+from repro.util.errors import TopologyError
+
+
+def orient_by_key(graph, keys):
+    """Orient each edge from the greater key to the smaller.
+
+    Returns ``dict[node, set[node]]`` of out-edges (successors have strictly
+    smaller keys).  Raises :class:`TopologyError` if two neighbors share a
+    key, since the orientation is then undefined -- callers should first
+    check local uniqueness.
+    """
+    successors = {node: set() for node in graph}
+    for u, v in graph.edges:
+        if keys[u] == keys[v]:
+            raise TopologyError(
+                f"neighbors {u!r} and {v!r} share key {keys[u]!r}; "
+                "edge orientation undefined")
+        if keys[u] > keys[v]:
+            successors[u].add(v)
+        else:
+            successors[v].add(u)
+    return successors
+
+
+def dag_height(graph, keys):
+    """Longest directed path (in edges) of the key-oriented DAG.
+
+    Computed by dynamic programming over nodes in decreasing key order,
+    which is a topological order of the orientation.  An empty graph has
+    height 0.
+    """
+    successors = orient_by_key(graph, keys)
+    depth = {}
+    for node in sorted(graph.nodes, key=keys.get):
+        # Successors have smaller keys, hence are already computed.
+        depth[node] = max((depth[s] + 1 for s in successors[node]), default=0)
+    return max(depth.values(), default=0)
+
+
+def roots(graph, keys):
+    """Nodes with no incoming oriented edge (local maxima of the key)."""
+    successors = orient_by_key(graph, keys)
+    has_incoming = {node: False for node in graph}
+    for node, outs in successors.items():
+        for succ in outs:
+            has_incoming[succ] = True
+    return {node for node, flag in has_incoming.items() if not flag}
+
+
+def theorem1_height_bound(namespace_size):
+    """The Theorem 1 bound on the height of the renaming DAG."""
+    return namespace_size + 1
+
+
+def clustering_dag_height(graph, keys):
+    """Height of ``DAG≺`` for a clustering key (Lemma 2's quantity).
+
+    Identical computation to :func:`dag_height`; exposed under its own name
+    because benches report it as the predictor of stabilization steps.
+    """
+    return dag_height(graph, keys)

@@ -1,0 +1,18 @@
+"""Protocol layers: discovery, DAG naming, density clustering, stacks."""
+
+from repro.protocols.base import Protocol, ProtocolStack
+from repro.protocols.clustering import DensityClusteringProtocol
+from repro.protocols.discovery import HelloProtocol
+from repro.protocols.naming import DagNamingProtocol
+from repro.protocols.stack import claimed_heads, extract_clustering, standard_stack
+
+__all__ = [
+    "DagNamingProtocol",
+    "DensityClusteringProtocol",
+    "HelloProtocol",
+    "Protocol",
+    "ProtocolStack",
+    "claimed_heads",
+    "extract_clustering",
+    "standard_stack",
+]

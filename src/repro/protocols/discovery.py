@@ -1,0 +1,38 @@
+"""Neighborhood discovery (the hello layer).
+
+Step 1 of Table 2: after one step of hello frames a node knows its
+1-neighbors; because each hello also carries the sender's *current belief*
+about its own neighborhood, a second step teaches every node its
+2-neighborhood.  The believed neighbor set is re-derived from the cache
+each step, so departed neighbors disappear after the cache timeout and
+corrupted beliefs heal -- no state survives that incoming frames do not
+refresh.
+"""
+
+from repro.runtime.guarded import GuardedCommand, Program, always
+
+
+class HelloProtocol:
+    """Broadcasts identity plus believed neighbor set."""
+
+    def initialize(self, runtime, rng):
+        runtime.shared.setdefault("neighbors", frozenset())
+
+    def payload(self, runtime):
+        return {
+            "tie_id": runtime.tie_id,
+            "neighbors": runtime.shared.get("neighbors", frozenset()),
+        }
+
+    def program(self):
+        return Program([
+            GuardedCommand(
+                name="hello:update-neighborhood",
+                guard=always,
+                action=self._update_neighborhood,
+            ),
+        ])
+
+    @staticmethod
+    def _update_neighborhood(runtime, _rng):
+        runtime.shared["neighbors"] = frozenset(runtime.known_neighbors())

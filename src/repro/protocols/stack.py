@@ -1,0 +1,61 @@
+"""The full paper stack and state-extraction helpers."""
+
+from repro.clustering.result import Clustering
+from repro.naming.namespace import NameSpace, recommended_size
+from repro.protocols.base import ProtocolStack
+from repro.protocols.clustering import DensityClusteringProtocol
+from repro.protocols.discovery import HelloProtocol
+from repro.protocols.naming import DagNamingProtocol
+from repro.util.errors import ConfigurationError
+
+
+def standard_stack(namespace=None, topology=None, use_dag=True, order="basic",
+                   fusion=False, variant="polite"):
+    """Hello + (optionally) DAG naming + density clustering.
+
+    ``namespace`` may be a :class:`~repro.naming.namespace.NameSpace`, an
+    integer size, or ``None`` -- in which case ``topology`` must be given
+    and the recommended ``δ**2`` space for its maximum degree is used.
+    With ``use_dag=False`` the naming layer is omitted entirely and the
+    clustering order falls back to normal identifiers (the "No DAG"
+    columns of Tables 4 and 5).
+    """
+    layers = [HelloProtocol()]
+    if use_dag:
+        if namespace is None:
+            if topology is None:
+                raise ConfigurationError(
+                    "need a namespace or a topology to size it from")
+            namespace = NameSpace(recommended_size(topology.graph.max_degree()))
+        elif not isinstance(namespace, NameSpace):
+            namespace = NameSpace(namespace)
+        layers.append(DagNamingProtocol(namespace, variant=variant))
+    layers.append(DensityClusteringProtocol(order=order, fusion=fusion,
+                                            use_dag=use_dag))
+    return ProtocolStack(layers)
+
+
+def extract_clustering(simulator, fusion=False):
+    """Build a :class:`~repro.clustering.result.Clustering` from the
+    protocol's shared ``parent`` variables.
+
+    Only meaningful once the protocol has stabilized; raises
+    :class:`~repro.util.errors.TopologyError` if the parent pointers do not
+    form a valid joining forest over the current graph (e.g. mid-convergence).
+    """
+    parents = {}
+    for node, runtime in simulator.runtimes.items():
+        parent = runtime.shared.get("parent")
+        parents[node] = node if parent is None else parent
+    densities = simulator.shared_map("density")
+    dag_ids = simulator.shared_map("dag_id")
+    if all(value is None for value in dag_ids.values()):
+        dag_ids = None
+    return Clustering(simulator.graph, parents, densities=densities,
+                      dag_ids=dag_ids, fusion=fusion)
+
+
+def claimed_heads(simulator):
+    """Nodes whose shared ``head`` names themselves."""
+    return {node for node, runtime in simulator.runtimes.items()
+            if runtime.shared.get("head") == node}

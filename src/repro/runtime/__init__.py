@@ -1,0 +1,37 @@
+"""Synchronous radio runtime: frames, channels, node state, step engine."""
+
+from repro.runtime.channel import (
+    BernoulliLossChannel,
+    Channel,
+    IdealChannel,
+    SlottedContentionChannel,
+)
+from repro.runtime.daemon import (
+    CentralDaemon,
+    Daemon,
+    RandomSubsetDaemon,
+    SynchronousDaemon,
+)
+from repro.runtime.frames import Frame
+from repro.runtime.guarded import GuardedCommand, Program, always
+from repro.runtime.node import DEFAULT_CACHE_TIMEOUT, CacheEntry, NodeRuntime
+from repro.runtime.simulator import StepSimulator
+
+__all__ = [
+    "BernoulliLossChannel",
+    "CacheEntry",
+    "CentralDaemon",
+    "Channel",
+    "DEFAULT_CACHE_TIMEOUT",
+    "Daemon",
+    "Frame",
+    "RandomSubsetDaemon",
+    "SynchronousDaemon",
+    "GuardedCommand",
+    "IdealChannel",
+    "NodeRuntime",
+    "Program",
+    "SlottedContentionChannel",
+    "StepSimulator",
+    "always",
+]

@@ -1,0 +1,125 @@
+"""Radio channel models.
+
+Section 4's only assumption about the MAC layer is: *there exists a
+constant τ > 0 such that the probability of a frame transmission without
+collision is at least τ*, memoryless across transmissions.  Three models
+realize (or idealize) that assumption:
+
+* :class:`IdealChannel` -- every frame reaches every neighbor (``τ = 1``);
+  this is the regime of Section 5's step counting, where one step is long
+  enough for every node to deliver one frame to all neighbors.
+* :class:`BernoulliLossChannel` -- each (frame, receiver) pair is lost
+  independently with a fixed probability; the simplest memoryless model.
+* :class:`SlottedContentionChannel` -- each sender picks one of ``k``
+  slots uniformly at random; a receiver hears a neighbor's frame iff no
+  *other* of its neighbors picked the same slot and the receiver itself
+  was not transmitting in it (half-duplex).  This derives the τ bound
+  instead of postulating it: see :meth:`tau_lower_bound`.
+"""
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+
+class Channel:
+    """Interface: map per-sender frames to per-receiver inboxes."""
+
+    def deliver(self, frames, graph, rng):
+        """``frames`` maps sender -> Frame; returns receiver -> [Frame].
+
+        Receivers are exactly the senders' graph neighbors, filtered by the
+        model's loss process.  Every node present in the graph appears in
+        the result (possibly with an empty inbox).
+        """
+        raise NotImplementedError
+
+
+class IdealChannel(Channel):
+    """Lossless broadcast: τ = 1."""
+
+    def deliver(self, frames, graph, rng):
+        inboxes = {node: [] for node in graph}
+        for sender, frame in frames.items():
+            for receiver in graph.neighbors(sender):
+                inboxes[receiver].append(frame)
+        return inboxes
+
+    def __repr__(self):
+        return "IdealChannel()"
+
+
+class BernoulliLossChannel(Channel):
+    """Independent per-(frame, receiver) loss with probability ``loss``."""
+
+    def __init__(self, loss):
+        if not 0.0 <= loss < 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1), got {loss}")
+        self.loss = float(loss)
+
+    @property
+    def tau(self):
+        """Per-transmission success probability lower bound."""
+        return 1.0 - self.loss
+
+    def deliver(self, frames, graph, rng):
+        rng = as_rng(rng)
+        inboxes = {node: [] for node in graph}
+        for sender, frame in frames.items():
+            for receiver in graph.neighbors(sender):
+                if rng.random() >= self.loss:
+                    inboxes[receiver].append(frame)
+        return inboxes
+
+    def __repr__(self):
+        return f"BernoulliLossChannel(loss={self.loss})"
+
+
+class SlottedContentionChannel(Channel):
+    """Slotted random-access MAC with ``slots`` slots per step.
+
+    Every transmitting node picks one slot uniformly.  Receiver ``r`` hears
+    neighbor ``s`` iff no other neighbor of ``r`` chose ``s``'s slot and
+    ``r`` itself did not transmit in that slot.
+    """
+
+    def __init__(self, slots):
+        if slots < 2:
+            raise ConfigurationError(
+                f"need at least 2 slots for any successful contention, "
+                f"got {slots}")
+        self.slots = int(slots)
+
+    def tau_lower_bound(self, delta):
+        """A constant τ valid for any topology of maximum degree ``delta``.
+
+        Receiver ``r`` has at most ``delta - 1`` neighbors other than the
+        sender, each colliding with the sender's slot with probability
+        ``1/slots``, and ``r`` itself occupies one slot.  Hence the frame
+        is heard with probability at least
+        ``((slots - 1) / slots) ** delta`` -- a positive constant, which is
+        exactly the hypothesis of Section 4.
+        """
+        if delta < 0:
+            raise ConfigurationError(f"delta must be non-negative, got {delta}")
+        return ((self.slots - 1) / self.slots) ** delta
+
+    def deliver(self, frames, graph, rng):
+        rng = as_rng(rng)
+        slot_of = {sender: int(rng.integers(self.slots)) for sender in frames}
+        inboxes = {node: [] for node in graph}
+        for receiver in graph.nodes:
+            neighbors = graph.neighbors(receiver)
+            transmitting = [s for s in neighbors if s in slot_of]
+            slot_counts = {}
+            for s in transmitting:
+                slot_counts[slot_of[s]] = slot_counts.get(slot_of[s], 0) + 1
+            own_slot = slot_of.get(receiver)
+            for s in transmitting:
+                slot = slot_of[s]
+                if slot_counts[slot] == 1 and slot != own_slot:
+                    inboxes[receiver].append(frames[s])
+        return inboxes
+
+    def __repr__(self):
+        return f"SlottedContentionChannel(slots={self.slots})"

@@ -1,0 +1,71 @@
+"""Execution daemons: who gets to execute its program each step.
+
+Self-stabilization results are stated relative to a *daemon* (scheduler
+adversary).  The paper's Section 5 evaluation uses the synchronous model
+(every node acts every step), but its Section 4 execution semantics --
+infinite re-evaluation of guards, constant-time per activation -- only
+requires weak fairness.  These daemons let the test suite check that
+convergence survives asynchrony:
+
+* :class:`SynchronousDaemon` -- every node, every step (the default);
+* :class:`RandomSubsetDaemon` -- each node independently activated with
+  probability ``p`` (the randomized distributed daemon);
+* :class:`CentralDaemon` -- exactly one uniformly random node per step
+  (the classical serial daemon, maximally asynchronous).
+
+Frames are still broadcast by every node each step: the shared-variable
+propagation of [11] is a timed discipline below the program layer, not a
+program action.
+"""
+
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+
+class Daemon:
+    """Interface: choose which nodes execute their programs this step."""
+
+    def select(self, nodes, rng):
+        """Subset of ``nodes`` (any iterable) activated this step."""
+        raise NotImplementedError
+
+
+class SynchronousDaemon(Daemon):
+    """Every node acts every step."""
+
+    def select(self, nodes, rng):
+        return set(nodes)
+
+    def __repr__(self):
+        return "SynchronousDaemon()"
+
+
+class RandomSubsetDaemon(Daemon):
+    """Each node independently activated with probability ``p`` > 0."""
+
+    def __init__(self, probability):
+        if not 0.0 < probability <= 1.0:
+            raise ConfigurationError(
+                f"activation probability must be in (0, 1], got {probability}")
+        self.probability = float(probability)
+
+    def select(self, nodes, rng):
+        rng = as_rng(rng)
+        return {node for node in nodes if rng.random() < self.probability}
+
+    def __repr__(self):
+        return f"RandomSubsetDaemon(p={self.probability})"
+
+
+class CentralDaemon(Daemon):
+    """Exactly one uniformly random node per step."""
+
+    def select(self, nodes, rng):
+        rng = as_rng(rng)
+        nodes = list(nodes)
+        if not nodes:
+            return set()
+        return {nodes[int(rng.integers(len(nodes)))]}
+
+    def __repr__(self):
+        return "CentralDaemon()"

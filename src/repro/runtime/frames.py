@@ -1,0 +1,27 @@
+"""Frames: the unit of local broadcast.
+
+One step (``Δ(τ)``, Section 5) lets every node locally broadcast one frame
+carrying the values of its shared variables (the shared-variable
+propagation scheme of [11] that Section 4 assumes).  A frame is a sender
+identifier plus a payload mapping shared-variable names to values.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A single local broadcast.
+
+    ``payload`` maps shared-variable names (e.g. ``"dag_id"``,
+    ``"density"``, ``"head"``, ``"neighbors"``) to their transmitted values.
+    Payloads are treated as immutable by convention; the simulator never
+    mutates them after transmission.
+    """
+
+    sender: object
+    payload: dict = field(default_factory=dict)
+
+    def get(self, name, default=None):
+        """Value of shared variable ``name`` as carried by this frame."""
+        return self.payload.get(name, default)

@@ -1,0 +1,82 @@
+"""Transient-fault injectors.
+
+Self-stabilization quantifies over *arbitrary* initial states: any
+combination of corrupted shared variables and caches must be recovered
+from.  These mutators plug into
+:meth:`~repro.runtime.simulator.StepSimulator.corrupt` and cover the fault
+classes the proofs must tolerate: garbage shared values, stale or
+fabricated caches, duplicated DAG names, and cold restarts.
+"""
+
+from fractions import Fraction
+
+from repro.runtime.node import CacheEntry
+from repro.util.rng import as_rng
+
+
+def clear_caches(runtime, _rng):
+    """Drop every cached neighbor (models a cold cache after restart)."""
+    runtime.caches.clear()
+
+
+def clear_shared(runtime, _rng):
+    """Reset every shared variable to None (crash-and-restart with RAM loss)."""
+    for name in list(runtime.shared):
+        runtime.shared[name] = None
+
+
+def duplicate_dag_ids(runtime, _rng):
+    """Force every node's DAG name to 0: maximal naming conflict."""
+    runtime.shared["dag_id"] = 0
+
+
+def garbage_shared(runtime, rng):
+    """Overwrite shared variables with type-correct but wrong values.
+
+    Type-correct garbage is the adversarial case: it survives parsing and
+    can only be eliminated by the algorithm's own corrective rules.
+    """
+    rng = as_rng(rng)
+    if "dag_id" in runtime.shared:
+        runtime.shared["dag_id"] = int(rng.integers(0, 10))
+    if "density" in runtime.shared:
+        runtime.shared["density"] = Fraction(int(rng.integers(0, 50)), 7)
+    if "head" in runtime.shared:
+        runtime.shared["head"] = runtime.node_id if rng.random() < 0.5 else None
+    if "parent" in runtime.shared:
+        runtime.shared["parent"] = runtime.node_id
+    if "neighbors" in runtime.shared:
+        runtime.shared["neighbors"] = frozenset()
+
+
+def fabricate_caches(ghost_ids, payload=None):
+    """Mutator factory: plant cache entries for non-existent neighbors.
+
+    Tests the discovery layer's reliance on cache expiry -- ghosts must
+    fade out within ``cache_timeout`` steps because no frame refreshes them.
+    """
+    payload = payload if payload is not None else {"dag_id": 0,
+                                                   "density": Fraction(99),
+                                                   "head": None,
+                                                   "neighbors": frozenset()}
+
+    def mutate(runtime, _rng):
+        for ghost in ghost_ids:
+            runtime.caches[ghost] = CacheEntry(payload=dict(payload),
+                                               refreshed_at=-10**9)
+    return mutate
+
+
+def total_corruption(runtime, rng):
+    """Everything at once: garbage shared state and cleared caches."""
+    garbage_shared(runtime, rng)
+    clear_caches(runtime, rng)
+
+
+def random_subset(nodes, fraction, rng):
+    """Pick a random subset of ``nodes`` of the given fraction (>= 1 node)."""
+    rng = as_rng(rng)
+    nodes = list(nodes)
+    count = max(1, int(round(fraction * len(nodes))))
+    picked = rng.choice(len(nodes), size=min(count, len(nodes)), replace=False)
+    return [nodes[i] for i in picked]

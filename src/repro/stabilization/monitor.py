@@ -1,0 +1,69 @@
+"""Convergence and closure measurement.
+
+``steps_to_legitimacy`` measures the stabilization time (the quantity
+Lemma 2 bounds by the height of ``DAG≺``); ``verify_closure`` checks the
+other half of self-stabilization: once legitimate, the system stays
+legitimate as long as no fault occurs (under a lossless channel -- with a
+lossy channel legitimacy of *caches* can flicker, which is why the paper
+states convergence in expectation).
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class StabilizationReport:
+    """Outcome of one stabilization measurement."""
+
+    steps: int
+    converged: bool
+    budget: int
+
+    def __str__(self):
+        status = "converged" if self.converged else "DID NOT CONVERGE"
+        return f"{status} in {self.steps}/{self.budget} steps"
+
+
+def steps_to_legitimacy(simulator, predicate, max_steps, settle=2):
+    """Steps until ``predicate`` first holds and keeps holding ``settle``
+    consecutive steps.  Returns a :class:`StabilizationReport`; never raises
+    on budget exhaustion (callers inspect ``converged``)."""
+    start = simulator.now
+    try:
+        reached = simulator.run_until(predicate, max_steps, settle=settle)
+        return StabilizationReport(steps=reached - start, converged=True,
+                                   budget=max_steps)
+    except ConvergenceError:
+        return StabilizationReport(steps=max_steps, converged=False,
+                                   budget=max_steps)
+
+
+def verify_closure(simulator, predicate, steps):
+    """Assert the predicate holds after each of ``steps`` further steps.
+
+    Returns the number of steps verified; raises ``AssertionError`` with
+    the failing step on violation.  Meaningful only under a lossless
+    channel (see module docstring).
+    """
+    if not predicate(simulator):
+        raise AssertionError("closure check requires a legitimate start state")
+    for i in range(steps):
+        simulator.step()
+        if not predicate(simulator):
+            raise AssertionError(
+                f"closure violated at step {simulator.now} "
+                f"({i + 1} steps after a legitimate state)")
+    return steps
+
+
+def recovery_time(simulator, fault, predicate, max_steps, settle=2,
+                  nodes=None):
+    """Inject ``fault`` and measure re-stabilization.
+
+    Convenience wrapper used by the fault-injection benches: corrupts,
+    then delegates to :func:`steps_to_legitimacy`.
+    """
+    simulator.corrupt(fault, nodes=nodes)
+    return steps_to_legitimacy(simulator, predicate, max_steps, settle=settle)

@@ -1,0 +1,107 @@
+"""Legitimacy predicates.
+
+Self-stabilization is defined against a *legitimacy predicate* over global
+states: from any initial state, every execution reaches a state satisfying
+the predicate (convergence) and stays there (closure).  These predicates
+compare protocol state -- which nodes built purely from received frames --
+against ground truth computed from the real graph.  Each layer has its own
+predicate, composed by :func:`clustering_legitimate` /
+:func:`stack_legitimate`, mirroring the paper's proof structure (Lemma 1:
+densities correct; Lemma 2: heads correct, by induction over ``DAG≺``).
+"""
+
+from repro.clustering.density import all_densities
+from repro.clustering.oracle import compute_clustering
+from repro.naming.renaming import is_locally_unique
+
+
+def neighborhood_accurate(simulator):
+    """Every node's believed 1-neighborhood equals its true neighborhood."""
+    graph = simulator.graph
+    return all(simulator.runtime(node).known_neighbors() == graph.neighbors(node)
+               for node in graph)
+
+
+def two_hop_accurate(simulator):
+    """Every node's believed 2-neighborhood equals the true one.
+
+    Requires the *shared* neighbor sets (what neighbors reported) to be
+    accurate, i.e. one more propagation step than 1-hop accuracy.
+    """
+    graph = simulator.graph
+    for node in graph:
+        runtime = simulator.runtime(node)
+        if runtime.two_hop_view() != graph.k_neighborhood(node, 2):
+            return False
+    return True
+
+
+def naming_legitimate(simulator):
+    """All DAG names are set and no two true neighbors share one."""
+    ids = simulator.shared_map("dag_id")
+    if any(value is None for value in ids.values()):
+        return False
+    return is_locally_unique(simulator.graph, ids)
+
+
+def densities_legitimate(simulator):
+    """Every shared density equals Definition 1 on the true graph (Lemma 1)."""
+    truth = all_densities(simulator.graph, exact=True)
+    shared = simulator.shared_map("density")
+    return all(shared[node] == truth[node] for node in simulator.graph)
+
+
+def clustering_legitimate(simulator, order="basic", fusion=False,
+                          use_dag=True):
+    """Shared parents and heads equal the oracle fixpoint (Lemma 2).
+
+    The oracle is evaluated with the protocol's *current* DAG names (names
+    are part of the configuration; legitimacy of the clustering layer is
+    relative to them), so this predicate composes with
+    :func:`naming_legitimate` rather than subsuming it.
+    """
+    tie_ids = {node: simulator.runtime(node).tie_id for node in simulator.graph}
+    dag_ids = simulator.shared_map("dag_id") if use_dag else None
+    if use_dag and any(value is None for value in dag_ids.values()):
+        return False
+    previous = None
+    if order == "incumbent":
+        # The incumbent order has many fixpoints by design (hysteresis), so
+        # legitimacy means *stationarity*: re-solving with the currently
+        # claimed heads as incumbents must reproduce the current state.
+        shared_heads = simulator.shared_map("head")
+        previous = {node for node, head in shared_heads.items() if head == node}
+    oracle = compute_clustering(simulator.graph, tie_ids=tie_ids,
+                                dag_ids=dag_ids, order=order, fusion=fusion,
+                                previous=previous)
+    parents = simulator.shared_map("parent")
+    heads = simulator.shared_map("head")
+    for node in simulator.graph:
+        if parents[node] != oracle.parent(node):
+            return False
+        if heads[node] != oracle.head(node):
+            return False
+    return True
+
+
+def stack_legitimate(simulator, order="basic", fusion=False, use_dag=True):
+    """Full-stack legitimacy: neighborhoods, names, densities, clustering."""
+    if not neighborhood_accurate(simulator):
+        return False
+    if not two_hop_accurate(simulator):
+        return False
+    if use_dag and not naming_legitimate(simulator):
+        return False
+    if not densities_legitimate(simulator):
+        return False
+    return clustering_legitimate(simulator, order=order, fusion=fusion,
+                                 use_dag=use_dag)
+
+
+def make_stack_predicate(order="basic", fusion=False, use_dag=True):
+    """Bind :func:`stack_legitimate`'s configuration into a 1-arg predicate."""
+    def predicate(simulator):
+        return stack_legitimate(simulator, order=order, fusion=fusion,
+                                use_dag=use_dag)
+    predicate.__name__ = f"stack_legitimate[{order}, fusion={fusion}]"
+    return predicate

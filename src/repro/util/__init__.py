@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG plumbing, error types, validation."""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    ConvergenceError,
+    TopologyError,
+)
+from repro.util.rng import as_rng, spawn_rngs
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "TopologyError",
+    "as_rng",
+    "spawn_rngs",
+]

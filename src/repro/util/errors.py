@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative process failed to reach a fixpoint within its budget.
+
+    Carries the number of iterations attempted so callers can report it.
+    """
+
+    def __init__(self, message, iterations=None):
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class TopologyError(ReproError):
+    """A graph operation was applied to an unsuitable topology."""

@@ -1,0 +1,5 @@
+"""ASCII visualization of clusterings."""
+
+from repro.viz.ascii import cluster_legend, render_clustering
+
+__all__ = ["cluster_legend", "render_clustering"]

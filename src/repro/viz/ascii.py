@@ -1,0 +1,58 @@
+"""ASCII rendering of topologies and clusterings (Figures 1-3).
+
+Terminal-friendly stand-in for the paper's figures: nodes are plotted on a
+character canvas at their geometric positions; every cluster gets a
+letter, members are lowercase, cluster-heads uppercase.  Figure 2 ("one
+giant cluster") and Figure 3 ("many compact clusters") are immediately
+recognizable in this encoding.
+"""
+
+from repro.util.errors import ConfigurationError
+
+_SYMBOLS = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def render_clustering(topology, clustering, width=64, height=32):
+    """Render a clustered topology to a multi-line string."""
+    if not topology.positions:
+        raise ConfigurationError("rendering needs node positions")
+    if width < 2 or height < 2:
+        raise ConfigurationError("canvas must be at least 2x2")
+    symbol_of = _assign_symbols(clustering)
+    canvas = [[" "] * width for _ in range(height)]
+    xs = [p[0] for p in topology.positions.values()]
+    ys = [p[1] for p in topology.positions.values()]
+    span_x = max(max(xs) - min(xs), 1e-9)
+    span_y = max(max(ys) - min(ys), 1e-9)
+    for node, (x, y) in topology.positions.items():
+        col = int((x - min(xs)) / span_x * (width - 1))
+        row = int((y - min(ys)) / span_y * (height - 1))
+        row = height - 1 - row  # y grows upward, rows grow downward
+        symbol = symbol_of[clustering.head(node)]
+        is_head = clustering.is_head(node)
+        current = canvas[row][col]
+        # Heads win canvas collisions so they stay visible.
+        if current == " " or is_head:
+            canvas[row][col] = symbol.upper() if is_head else symbol
+    return "\n".join("".join(line).rstrip() for line in canvas)
+
+
+def _assign_symbols(clustering):
+    symbol_of = {}
+    heads = sorted(clustering.heads, key=repr)
+    for index, head in enumerate(heads):
+        symbol_of[head] = _SYMBOLS[index % len(_SYMBOLS)]
+    return symbol_of
+
+
+def cluster_legend(clustering, limit=12):
+    """A short textual legend: head -> cluster size, largest first."""
+    sizes = sorted(((head, len(members))
+                    for head, members in clustering.clusters.items()),
+                   key=lambda item: -item[1])
+    lines = [f"{clustering.cluster_count} clusters"]
+    for head, size in sizes[:limit]:
+        lines.append(f"  head {head!r}: {size} nodes")
+    if len(sizes) > limit:
+        lines.append(f"  ... and {len(sizes) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Tests for the stochastic RGG analysis, validated against simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.rgg import (
+    LENS_PROBABILITY,
+    expected_degree,
+    expected_density,
+    expected_density_given_degree,
+    expected_neighbor_links,
+)
+from repro.clustering.density import all_densities
+from repro.graph.generators import uniform_topology
+from repro.util.errors import ConfigurationError
+
+
+class TestFormulas:
+    def test_lens_probability_value(self):
+        assert LENS_PROBABILITY == pytest.approx(0.5865, abs=1e-4)
+
+    def test_lens_probability_monte_carlo(self):
+        # Two uniform points in a disk of radius 1: P(dist <= 1) ~= p.
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 30_000
+        for _ in range(2):  # draw in bulk, twice for 2 points
+            pass
+        radii = np.sqrt(rng.uniform(0, 1, size=(trials, 2)))
+        angles = rng.uniform(0, 2 * math.pi, size=(trials, 2))
+        xs = radii * np.cos(angles)
+        ys = radii * np.sin(angles)
+        distances = np.hypot(xs[:, 0] - xs[:, 1], ys[:, 0] - ys[:, 1])
+        hits = np.mean(distances <= 1.0)
+        assert hits == pytest.approx(LENS_PROBABILITY, abs=0.01)
+
+    def test_expected_degree(self):
+        assert expected_degree(1000, 0.1) == pytest.approx(31.42, abs=0.01)
+
+    def test_expected_neighbor_links_scaling(self):
+        # Quadratic in mu: doubling lambda quadruples the link count.
+        one = expected_neighbor_links(500, 0.1)
+        two = expected_neighbor_links(1000, 0.1)
+        assert two == pytest.approx(4 * one, rel=1e-9)
+
+    def test_conditional_density_bounds(self):
+        assert expected_density_given_degree(0) == 0.0
+        assert expected_density_given_degree(1) == 1.0
+        assert expected_density_given_degree(5) == \
+            pytest.approx(1 + 2 * LENS_PROBABILITY)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_degree(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            expected_density(100, 0)
+        with pytest.raises(ConfigurationError):
+            expected_density_given_degree(-1)
+
+
+class TestAgainstSimulation:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return uniform_topology(2000, 0.1, rng=11)
+
+    def _interior(self, topology, margin):
+        return [n for n, (x, y) in topology.positions.items()
+                if margin <= x <= 1 - margin and margin <= y <= 1 - margin]
+
+    def test_interior_degree_matches(self, deployment):
+        interior = self._interior(deployment, 0.1)
+        measured = np.mean([deployment.graph.degree(n) for n in interior])
+        assert measured == pytest.approx(expected_degree(2000, 0.1),
+                                         rel=0.08)
+
+    def test_interior_density_matches(self, deployment):
+        interior = self._interior(deployment, 0.1)
+        densities = all_densities(deployment.graph)
+        measured = np.mean([densities[n] for n in interior])
+        assert measured == pytest.approx(expected_density(2000, 0.1),
+                                         rel=0.08)
+
+    def test_conditional_density_matches_per_degree(self, deployment):
+        interior = self._interior(deployment, 0.1)
+        densities = all_densities(deployment.graph)
+        by_degree = {}
+        for node in interior:
+            by_degree.setdefault(deployment.graph.degree(node),
+                                 []).append(densities[node])
+        checked = 0
+        for degree, values in by_degree.items():
+            if len(values) < 30:
+                continue
+            measured = float(np.mean(values))
+            assert measured == pytest.approx(
+                expected_density_given_degree(degree), rel=0.1)
+            checked += 1
+        assert checked >= 3

@@ -1,0 +1,136 @@
+"""Tests for Definition 1's density metric, including Table 1 exactness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.clustering.density import (
+    ISOLATED_DENSITY,
+    all_densities,
+    density,
+    density_bounds,
+    edges_among,
+)
+from repro.experiments.paper_values import TABLE1
+from repro.graph.generators import (
+    complete_topology,
+    figure1_topology,
+    line_topology,
+    star_topology,
+)
+from repro.graph.graph import Graph
+from repro.util.errors import TopologyError
+
+
+class TestTable1Exact:
+    def test_every_density_matches_the_paper(self, fig1):
+        densities = all_densities(fig1.graph, exact=True)
+        for node, (_, _, expected) in TABLE1.items():
+            assert densities[node] == Fraction(expected).limit_denominator(8)
+
+    def test_link_counts_match_the_paper(self, fig1):
+        for node, (_, links, _) in TABLE1.items():
+            neighbors = fig1.graph.neighbors(node)
+            assert len(neighbors) + edges_among(fig1.graph, neighbors) == links
+
+    def test_single_node_density_agrees_with_bulk(self, fig1):
+        bulk = all_densities(fig1.graph, exact=True)
+        for node in fig1.graph:
+            assert density(fig1.graph, node, exact=True) == bulk[node]
+
+
+class TestDefinition:
+    def test_path_interior_density_is_one(self):
+        graph = line_topology(5).graph
+        assert density(graph, 2) == 1.0
+
+    def test_path_endpoint_density_is_one(self):
+        graph = line_topology(5).graph
+        assert density(graph, 0) == 1.0
+
+    def test_star_center(self):
+        # Center of a 4-leaf star: 4 links, 4 neighbors, no triangles.
+        graph = star_topology(4).graph
+        assert density(graph, 0) == 1.0
+
+    def test_triangle_density(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        # Each node: 2 neighbors, 3 links -> 1.5.
+        assert density(graph, 0) == 1.5
+
+    def test_complete_graph_hits_upper_bound(self):
+        graph = complete_topology(6).graph
+        deg = 5
+        expected_high = 1.0 + (deg - 1) / 2.0
+        for node in graph:
+            assert density(graph, node) == pytest.approx(expected_high)
+
+    def test_isolated_node(self):
+        graph = Graph(nodes=[1])
+        assert density(graph, 1) == ISOLATED_DENSITY
+        assert density(graph, 1, exact=True) == Fraction(0)
+
+    def test_exact_returns_fraction(self, fig1):
+        value = density(fig1.graph, "b", exact=True)
+        assert isinstance(value, Fraction)
+        assert value == Fraction(5, 4)
+
+    def test_missing_node_raises(self):
+        with pytest.raises(TopologyError):
+            density(Graph(), 1)
+
+
+class TestAllDensities:
+    def test_matches_per_node_on_random_graph(self, random50):
+        graph = random50.graph
+        bulk = all_densities(graph, exact=True)
+        for node in graph:
+            assert bulk[node] == density(graph, node, exact=True)
+
+    def test_exact_flag_types(self, k4):
+        floats = all_densities(k4.graph)
+        fractions = all_densities(k4.graph, exact=True)
+        assert all(isinstance(v, float) for v in floats.values())
+        assert all(isinstance(v, Fraction) for v in fractions.values())
+
+    def test_covers_isolated_nodes(self):
+        graph = Graph(nodes=[1, 2], edges=[(3, 4)])
+        bulk = all_densities(graph)
+        assert bulk[1] == ISOLATED_DENSITY
+        assert bulk[3] == 1.0
+
+
+class TestEdgesAmong:
+    def test_counts_each_edge_once(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert edges_among(graph, {0, 1, 2}) == 3
+
+    def test_ignores_edges_leaving_the_set(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        assert edges_among(graph, {0, 1}) == 1
+
+    def test_empty_set(self, k4):
+        assert edges_among(k4.graph, set()) == 0
+
+
+class TestDensityBounds:
+    def test_degree_zero(self):
+        assert density_bounds(0) == (ISOLATED_DENSITY, ISOLATED_DENSITY)
+
+    def test_degree_one(self):
+        assert density_bounds(1) == (1.0, 1.0)
+
+    def test_general_degree(self):
+        low, high = density_bounds(5)
+        assert low == 1.0
+        assert high == 3.0
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(TopologyError):
+            density_bounds(-1)
+
+    def test_bounds_hold_on_random_graph(self, random50):
+        graph = random50.graph
+        for node, value in all_densities(graph).items():
+            low, high = density_bounds(graph.degree(node))
+            assert low <= value <= high

@@ -1,0 +1,103 @@
+"""Tests for the precedence orders of Section 4."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.clustering.order import (
+    BasicOrder,
+    IncumbentOrder,
+    NodeView,
+    make_order,
+)
+from repro.util.errors import ConfigurationError
+
+
+def view(node="p", density=1, tie_id=0, dag_id=None, is_head=False):
+    return NodeView(node=node, density=Fraction(density), tie_id=tie_id,
+                    dag_id=dag_id, is_head=is_head)
+
+
+class TestBasicOrder:
+    def test_higher_density_wins(self):
+        order = BasicOrder()
+        assert order.precedes(view(density=1, tie_id=0),
+                              view(density=2, tie_id=1))
+        assert not order.precedes(view(density=2, tie_id=0),
+                                  view(density=1, tie_id=1))
+
+    def test_density_tie_smaller_id_wins(self):
+        # p ≺ q iff d equal and Id_q < Id_p.
+        order = BasicOrder()
+        p = view(node="p", density=1, tie_id=5)
+        q = view(node="q", density=1, tie_id=3)
+        assert order.precedes(p, q)
+        assert not order.precedes(q, p)
+
+    def test_dag_id_dominates_tie_id(self):
+        order = BasicOrder()
+        p = view(node="p", density=1, tie_id=1, dag_id=7)
+        q = view(node="q", density=1, tie_id=9, dag_id=2)
+        # q has the smaller DAG name, so q wins despite its larger tie id.
+        assert order.precedes(p, q)
+
+    def test_tie_id_breaks_equal_dag_ids(self):
+        order = BasicOrder()
+        p = view(node="p", density=1, tie_id=4, dag_id=2)
+        q = view(node="q", density=1, tie_id=2, dag_id=2)
+        assert order.precedes(p, q)
+
+    def test_identical_keys_raise(self):
+        order = BasicOrder()
+        p = view(node="p", density=1, tie_id=1)
+        q = view(node="q", density=1, tie_id=1)
+        with pytest.raises(ConfigurationError):
+            order.precedes(p, q)
+
+    def test_key_is_strictly_monotone_in_density(self):
+        order = BasicOrder()
+        assert order.key(view(density=2)) > order.key(view(density=1))
+
+    def test_fraction_densities_compare_exactly(self):
+        order = BasicOrder()
+        p = view(density=Fraction(5, 4), tie_id=1)
+        q = view(density=Fraction(10, 8), tie_id=0)
+        # Equal densities as fractions: falls through to identifiers.
+        assert order.precedes(p, q)
+
+
+class TestIncumbentOrder:
+    def test_density_still_dominates(self):
+        order = IncumbentOrder()
+        incumbent = view(node="p", density=1, tie_id=0, is_head=True)
+        denser = view(node="q", density=2, tie_id=1, is_head=False)
+        assert order.precedes(incumbent, denser)
+
+    def test_incumbent_wins_density_tie(self):
+        order = IncumbentOrder()
+        incumbent = view(node="p", density=1, tie_id=9, is_head=True)
+        challenger = view(node="q", density=1, tie_id=0, is_head=False)
+        # Despite the challenger's smaller id, the incumbent wins.
+        assert order.precedes(challenger, incumbent)
+
+    def test_two_incumbents_fall_back_to_ids(self):
+        order = IncumbentOrder()
+        p = view(node="p", density=1, tie_id=5, is_head=True)
+        q = view(node="q", density=1, tie_id=3, is_head=True)
+        assert order.precedes(p, q)
+
+    def test_two_non_heads_match_basic(self):
+        basic, incumbent = BasicOrder(), IncumbentOrder()
+        p = view(node="p", density=1, tie_id=5)
+        q = view(node="q", density=1, tie_id=3)
+        assert basic.precedes(p, q) == incumbent.precedes(p, q)
+
+
+class TestMakeOrder:
+    def test_lookup(self):
+        assert isinstance(make_order("basic"), BasicOrder)
+        assert isinstance(make_order("incumbent"), IncumbentOrder)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_order("lexicographic")

@@ -1,0 +1,55 @@
+"""Shared fixtures: canonical small topologies and deterministic RNGs."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    complete_topology,
+    figure1_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+    uniform_topology,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig1():
+    return figure1_topology()
+
+
+@pytest.fixture
+def line7():
+    return line_topology(7)
+
+
+@pytest.fixture
+def ring6():
+    return ring_topology(6)
+
+
+@pytest.fixture
+def star5():
+    return star_topology(5)
+
+
+@pytest.fixture
+def k4():
+    return complete_topology(4)
+
+
+@pytest.fixture
+def small_grid():
+    # 5x5 grid with 8-neighborhood (radius 1.6 cells).
+    return grid_topology(5, 5, 1.6 * 0.25)
+
+
+@pytest.fixture
+def random50():
+    return uniform_topology(50, 0.22, rng=7)

@@ -1,0 +1,69 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.clustering.result import Clustering
+from repro.energy.battery import BatteryModel
+from repro.graph.generators import line_topology
+from repro.util.errors import ConfigurationError
+
+
+def clustering_with_head_zero():
+    graph = line_topology(3).graph
+    return Clustering(graph, {0: 0, 1: 0, 2: 1})
+
+
+class TestBatteryModel:
+    def test_initial_full(self):
+        battery = BatteryModel([1, 2], capacity=50.0)
+        assert battery.residual(1) == 50.0
+        assert battery.alive() == {1, 2}
+        assert battery.fraction_alive() == 1.0
+
+    def test_head_drains_faster(self):
+        battery = BatteryModel([0, 1, 2], capacity=100.0, head_cost=4.0,
+                               member_cost=1.0)
+        battery.drain(clustering_with_head_zero())
+        assert battery.residual(0) == 96.0
+        assert battery.residual(1) == 99.0
+        assert battery.residual(2) == 99.0
+
+    def test_energy_never_negative(self):
+        battery = BatteryModel([0, 1, 2], capacity=3.0, head_cost=4.0,
+                               member_cost=1.0)
+        battery.drain(clustering_with_head_zero())
+        assert battery.residual(0) == 0.0
+
+    def test_dead_nodes_stop_draining(self):
+        battery = BatteryModel([0, 1, 2], capacity=4.0, head_cost=4.0,
+                               member_cost=1.0)
+        battery.drain(clustering_with_head_zero())
+        assert battery.dead() == {0}
+        battery.drain(clustering_with_head_zero())
+        assert battery.residual(0) == 0.0
+
+    def test_nodes_outside_clustering_not_charged(self):
+        battery = BatteryModel([0, 1, 2, 99], capacity=10.0)
+        battery.drain(clustering_with_head_zero())
+        assert battery.residual(99) == 10.0
+
+    def test_bucket_boundaries(self):
+        battery = BatteryModel([0], capacity=100.0)
+        assert battery.bucket(0, buckets=5) == 5
+        battery.energy[0] = 50.0
+        assert battery.bucket(0, buckets=5) == 3
+        battery.energy[0] = 0.0
+        assert battery.bucket(0, buckets=5) == 0
+
+    def test_bucket_validation(self):
+        battery = BatteryModel([0])
+        with pytest.raises(ConfigurationError):
+            battery.bucket(0, buckets=0)
+
+    def test_rejects_free_headship(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel([0], head_cost=0.5, member_cost=1.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel([0], capacity=0.0)

@@ -1,0 +1,100 @@
+"""Tests for energy-aware clustering and lifetime simulation."""
+
+import pytest
+
+from repro.energy.battery import BatteryModel
+from repro.energy.lifetime import simulate_lifetime
+from repro.energy.policy import (
+    clustering_for_policy,
+    energy_aware_clustering,
+    energy_keys,
+)
+from repro.graph.generators import line_topology, uniform_topology
+from repro.util.errors import ConfigurationError
+
+
+class TestEnergyKeys:
+    def test_energy_bucket_dominates_density(self):
+        topo = line_topology(2)
+        battery = BatteryModel(topo.graph.nodes)
+        battery.energy[0] = 10.0  # node 0 nearly drained
+        keys = energy_keys(topo.graph, battery, tie_ids=topo.ids)
+        assert keys[1] > keys[0]
+
+    def test_equal_energy_falls_back_to_paper_order(self):
+        topo = line_topology(2)
+        battery = BatteryModel(topo.graph.nodes)
+        keys = energy_keys(topo.graph, battery, tie_ids=topo.ids)
+        assert keys[0] > keys[1]  # equal density, smaller id wins
+
+    def test_keys_globally_distinct(self):
+        topo = uniform_topology(40, 0.2, rng=1)
+        battery = BatteryModel(topo.graph.nodes)
+        keys = energy_keys(topo.graph, battery, tie_ids=topo.ids)
+        assert len(set(keys.values())) == len(keys)
+
+
+class TestEnergyAwareClustering:
+    def test_valid_clustering(self):
+        topo = uniform_topology(50, 0.22, rng=2)
+        battery = BatteryModel(topo.graph.nodes)
+        clustering = energy_aware_clustering(topo.graph, battery,
+                                             tie_ids=topo.ids)
+        clustering.check_invariants()
+
+    def test_drained_head_loses_to_fresh_neighbor(self):
+        topo = line_topology(2)
+        battery = BatteryModel(topo.graph.nodes)
+        first = energy_aware_clustering(topo.graph, battery,
+                                        tie_ids=topo.ids)
+        head = next(iter(first.heads))
+        battery.energy[head] = 5.0
+        second = energy_aware_clustering(topo.graph, battery,
+                                         tie_ids=topo.ids)
+        assert head not in second.heads
+
+    def test_policy_dispatch(self):
+        topo = line_topology(3)
+        battery = BatteryModel(topo.graph.nodes)
+        for policy in ("static", "energy-aware"):
+            clustering = clustering_for_policy(policy, topo.graph, battery,
+                                               topo.ids)
+            clustering.check_invariants()
+        with pytest.raises(ConfigurationError):
+            clustering_for_policy("greedy", topo.graph, battery, topo.ids)
+
+
+class TestLifetime:
+    def test_survival_curve_monotone(self):
+        topo = uniform_topology(60, 0.2, rng=3)
+        result = simulate_lifetime(topo, "static", windows=60, capacity=40.0)
+        assert result.survival == sorted(result.survival, reverse=True)
+
+    def test_rotation_delays_first_death(self):
+        topo = uniform_topology(80, 0.2, rng=4)
+        static = simulate_lifetime(topo, "static", windows=60,
+                                   capacity=60.0)
+        aware = simulate_lifetime(topo, "energy-aware", windows=60,
+                                  capacity=60.0)
+        assert aware.first_death > static.first_death
+
+    def test_rotation_costs_head_changes(self):
+        topo = uniform_topology(80, 0.2, rng=5)
+        static = simulate_lifetime(topo, "static", windows=40,
+                                   capacity=60.0)
+        aware = simulate_lifetime(topo, "energy-aware", windows=40,
+                                  capacity=60.0)
+        assert aware.head_changes >= static.head_changes
+
+    def test_no_death_reports_windows_plus_one(self):
+        topo = uniform_topology(30, 0.3, rng=6)
+        result = simulate_lifetime(topo, "static", windows=5,
+                                   capacity=1000.0)
+        assert result.first_death == 6
+        assert result.half_life == 6
+        assert result.final_alive_fraction == 1.0
+
+    def test_rejects_zero_windows(self):
+        topo = line_topology(3)
+        with pytest.raises(ConfigurationError):
+            simulate_lifetime(topo, "static", windows=0)

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_listed(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.preset == "quick"
+        assert args.seed == 2024
+
+    def test_preset_and_seed_flags(self):
+        args = build_parser().parse_args(
+            ["table3", "--preset", "smoke", "--seed", "7"])
+        assert args.preset == "smoke"
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "exact match with the paper: True" in out
+
+    def test_figure1_runs(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "2 clusters" in capsys.readouterr().out
+
+    def test_table3_smoke_preset(self, capsys):
+        assert main(["table3", "--preset", "smoke", "--seed", "1"]) == 0
+        assert "Table 3" in capsys.readouterr().out

@@ -1,0 +1,30 @@
+"""Tests for the extension experiments (scalability, energy lifetime)."""
+
+from repro.experiments.energy_lifetime import run_energy_lifetime
+from repro.experiments.scalability import run_scalability
+
+
+class TestScalability:
+    def test_hierarchical_state_beats_flat(self):
+        table = run_scalability(sizes=(120, 240), pairs=10, rng=1)
+        flat = table.column("flat state")
+        hier = table.column("hier state")
+        for f, h in zip(flat, hier):
+            assert h < f
+
+    def test_savings_reported(self):
+        table = run_scalability(sizes=(150,), pairs=10, rng=2)
+        assert table.column("savings x")[0] > 1.5
+        assert table.column("mean stretch")[0] >= 1.0
+
+
+class TestEnergyLifetime:
+    def test_energy_aware_delays_first_death(self):
+        table = run_energy_lifetime(nodes=120, windows=60, runs=2, rng=3)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["energy-aware"][1] > rows["static"][1]
+
+    def test_rotation_costs_head_changes(self):
+        table = run_energy_lifetime(nodes=120, windows=60, runs=2, rng=4)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["energy-aware"][4] >= rows["static"][4]

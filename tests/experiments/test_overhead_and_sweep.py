@@ -1,0 +1,56 @@
+"""Tests for the overhead and intensity-sweep experiments."""
+
+from repro.experiments.common import Preset
+from repro.experiments.intensity_sweep import interior_nodes, \
+    run_intensity_sweep
+from repro.experiments.overhead import run_beacon_cost, \
+    run_reaffiliation_churn
+from repro.graph.generators import uniform_topology
+
+TINY = Preset(name="tiny", runs=2, intensity=150, mobility_nodes=100,
+              mobility_duration=10.0, mobility_window=2.0)
+
+
+class TestIntensitySweep:
+    def test_density_heads_fall_with_intensity(self):
+        table = run_intensity_sweep(intensities=(300, 1200), radius=0.1,
+                                    runs=3, rng=1)
+        heads = table.column("density heads")
+        assert heads[-1] < heads[0]
+
+    def test_degree_heads_grow_with_intensity(self):
+        table = run_intensity_sweep(intensities=(300, 1200), radius=0.1,
+                                    runs=3, rng=2)
+        heads = table.column("degree heads")
+        assert heads[-1] > heads[0]
+
+    def test_measured_density_near_prediction(self):
+        table = run_intensity_sweep(intensities=(1000,), radius=0.1,
+                                    runs=3, rng=3)
+        measured = table.column("interior density")[0]
+        predicted = table.column("predicted density")[0]
+        assert abs(measured - predicted) / predicted < 0.15
+
+    def test_interior_nodes_helper(self):
+        topo = uniform_topology(200, 0.1, rng=4)
+        interior = interior_nodes(topo, margin=0.2)
+        for node in interior:
+            x, y = topo.positions[node]
+            assert 0.2 <= x <= 0.8
+            assert 0.2 <= y <= 0.8
+
+
+class TestOverheadExperiments:
+    def test_churn_reported_for_all_metrics(self):
+        table = run_reaffiliation_churn(TINY, radius=0.25, rng=5, runs=1)
+        assert len(table.rows) == 4
+        for value in table.column("re-affiliations / window / 100 nodes"):
+            assert 0.0 <= value <= 100.0
+
+    def test_beacon_cost_orders_configurations(self):
+        table = run_beacon_cost(nodes=80, steps=10, rng=6)
+        costs = dict(zip(table.column("configuration"),
+                         table.column("bytes / node / step")))
+        # The DAG adds one shared variable; fusion adds the summary.
+        assert costs["DAG, basic"] > costs["no DAG, basic"]
+        assert costs["DAG, fusion"] > 2 * costs["DAG, basic"]

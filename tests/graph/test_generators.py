@@ -1,0 +1,176 @@
+"""Tests for topology generators, especially the paper's workloads."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    Topology,
+    complete_topology,
+    figure1_topology,
+    grid_topology,
+    line_topology,
+    poisson_topology,
+    ring_topology,
+    square_grid_topology,
+    star_topology,
+    uniform_topology,
+)
+from repro.graph.graph import Graph
+from repro.util.errors import ConfigurationError
+
+
+class TestTopology:
+    def test_default_ids_are_node_labels(self):
+        topo = line_topology(3)
+        assert topo.ids == {0: 0, 1: 1, 2: 2}
+
+    def test_ids_must_cover_nodes(self):
+        graph = Graph(nodes=[1, 2])
+        with pytest.raises(ConfigurationError):
+            Topology(graph, ids={1: 0})
+
+    def test_ids_must_be_unique(self):
+        graph = Graph(nodes=[1, 2])
+        with pytest.raises(ConfigurationError):
+            Topology(graph, ids={1: 0, 2: 0})
+
+    def test_positions_must_cover_nodes(self):
+        graph = Graph(nodes=[1, 2])
+        with pytest.raises(ConfigurationError):
+            Topology(graph, positions={1: (0, 0)})
+
+
+class TestFigure1:
+    def test_has_the_nine_tabulated_nodes(self, fig1):
+        assert set(fig1.graph.nodes) == set("abcdefhij")
+
+    def test_neighborhoods_match_the_paper_text(self, fig1):
+        assert fig1.graph.neighbors("a") == {"d", "i"}
+        assert fig1.graph.neighbors("b") == {"c", "d", "h", "i"}
+        assert fig1.graph.neighbors("h") == {"b", "i"}
+
+    def test_neighbor_counts_match_table1(self, fig1):
+        expected = {"a": 2, "b": 4, "c": 1, "d": 4, "e": 1, "f": 2,
+                    "h": 2, "i": 4, "j": 2}
+        for node, degree in expected.items():
+            assert fig1.graph.degree(node) == degree
+
+    def test_j_has_smaller_id_than_f(self, fig1):
+        # The paper's explicit assumption for the f/j tie-break.
+        assert fig1.ids["j"] < fig1.ids["f"]
+
+    def test_positions_present_for_rendering(self, fig1):
+        assert set(fig1.positions) == set(fig1.graph.nodes)
+
+
+class TestGrid:
+    def test_ids_increase_left_to_right_bottom_to_top(self):
+        topo = grid_topology(3, 4, radius=0.4)
+        # Node id row*cols+col; position x grows with col, y with row.
+        assert topo.ids[0] == 0
+        x0, y0 = topo.positions[0]
+        x1, y1 = topo.positions[1]
+        x4, y4 = topo.positions[4]
+        assert x1 > x0 and y1 == y0
+        assert y4 > y0 and x4 == x0
+
+    def test_grid_size(self):
+        topo = grid_topology(3, 4, radius=0.4)
+        assert len(topo.graph) == 12
+
+    def test_four_neighborhood_at_small_radius(self):
+        # Radius just above spacing links orthogonal neighbors only.
+        topo = grid_topology(5, 5, radius=0.26)
+        center = 12  # row 2, col 2
+        assert topo.graph.degree(center) == 4
+
+    def test_eight_neighborhood_at_diagonal_radius(self):
+        topo = grid_topology(5, 5, radius=0.37)  # spacing 0.25, diag 0.354
+        center = 12
+        assert topo.graph.degree(center) == 8
+
+    def test_single_row_grid(self):
+        topo = grid_topology(1, 5, radius=0.3)
+        assert len(topo.graph) == 5
+        assert topo.graph.degree(0) == 1
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            grid_topology(0, 3, radius=0.1)
+
+    def test_square_grid_topology_near_target(self):
+        topo = square_grid_topology(1000, radius=0.05)
+        assert 950 <= len(topo.graph) <= 1050
+
+    def test_square_grid_small_counts(self):
+        assert len(square_grid_topology(1, 0.5).graph) == 1
+        assert len(square_grid_topology(4, 0.9).graph) == 4
+
+
+class TestRandomDeployments:
+    def test_uniform_topology_count_and_bounds(self):
+        topo = uniform_topology(60, 0.1, rng=1)
+        assert len(topo.graph) == 60
+        for x, y in topo.positions.values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_poisson_topology_count_distribution(self):
+        rng = np.random.default_rng(5)
+        counts = [len(poisson_topology(100, 0.1, rng=rng).graph)
+                  for _ in range(30)]
+        mean = sum(counts) / len(counts)
+        assert 80 <= mean <= 120  # Poisson(100), 30 samples
+
+    def test_poisson_respects_side_scaling(self):
+        rng = np.random.default_rng(6)
+        counts = [len(poisson_topology(100, 0.1, rng=rng, side=2.0).graph)
+                  for _ in range(20)]
+        mean = sum(counts) / len(counts)
+        assert 320 <= mean <= 480  # Poisson(400)
+
+    def test_same_seed_same_topology(self):
+        a = uniform_topology(40, 0.15, rng=9)
+        b = uniform_topology(40, 0.15, rng=9)
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            poisson_topology(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            uniform_topology(-1, 0.1)
+
+
+class TestDeterministicShapes:
+    def test_line(self):
+        topo = line_topology(4)
+        assert topo.graph.edge_count() == 3
+        assert topo.graph.degree(0) == 1
+        assert topo.graph.degree(1) == 2
+
+    def test_ring(self):
+        topo = ring_topology(5)
+        assert topo.graph.edge_count() == 5
+        assert all(topo.graph.degree(n) == 2 for n in topo.graph)
+
+    def test_star(self):
+        topo = star_topology(4)
+        assert topo.graph.degree(0) == 4
+        assert all(topo.graph.degree(i) == 1 for i in range(1, 5))
+
+    def test_complete(self):
+        topo = complete_topology(5)
+        assert topo.graph.edge_count() == 10
+        assert topo.graph.max_degree() == 4
+
+    def test_minimum_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_topology(0)
+        with pytest.raises(ConfigurationError):
+            ring_topology(2)
+        with pytest.raises(ConfigurationError):
+            star_topology(0)
+        with pytest.raises(ConfigurationError):
+            complete_topology(0)

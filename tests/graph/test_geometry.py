@@ -1,0 +1,86 @@
+"""Tests for unit-disk construction, including brute-force equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.graph.geometry import pairwise_within_range, unit_disk_graph
+from repro.util.errors import ConfigurationError
+
+
+def brute_force_pairs(positions, radius):
+    positions = np.asarray(positions, dtype=float)
+    n = len(positions)
+    pairs = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if np.hypot(*(positions[i] - positions[j])) <= radius:
+                pairs.add((i, j))
+    return pairs
+
+
+class TestPairwiseWithinRange:
+    def test_matches_brute_force_on_random_points(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            points = rng.uniform(0, 1, size=(120, 2))
+            radius = float(rng.uniform(0.05, 0.3))
+            fast = set(pairwise_within_range(points, radius))
+            assert fast == brute_force_pairs(points, radius)
+
+    def test_exact_boundary_distance_included(self):
+        points = [(0.0, 0.0), (0.1, 0.0)]
+        assert set(pairwise_within_range(points, 0.1)) == {(0, 1)}
+
+    def test_just_outside_excluded(self):
+        points = [(0.0, 0.0), (0.1000001, 0.0)]
+        assert set(pairwise_within_range(points, 0.1)) == set()
+
+    def test_coincident_points_are_linked(self):
+        points = [(0.5, 0.5), (0.5, 0.5)]
+        assert set(pairwise_within_range(points, 0.01)) == {(0, 1)}
+
+    def test_empty_input(self):
+        assert set(pairwise_within_range(np.empty((0, 2)), 0.1)) == set()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            list(pairwise_within_range(np.zeros((3, 3)), 0.1))
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ConfigurationError):
+            list(pairwise_within_range(np.zeros((2, 2)), 0.0))
+
+    def test_points_spanning_many_cells(self):
+        # Distances straddling cell borders must not be missed.
+        points = [(x * 0.09999, 0.0) for x in range(12)]
+        fast = set(pairwise_within_range(points, 0.1))
+        assert fast == brute_force_pairs(points, 0.1)
+
+
+class TestUnitDiskGraph:
+    def test_builds_expected_edges(self):
+        points = [(0.0, 0.0), (0.05, 0.0), (0.5, 0.5)]
+        graph, positions = unit_disk_graph(points, 0.1)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert positions[1] == (0.05, 0.0)
+
+    def test_custom_node_ids(self):
+        points = [(0.0, 0.0), (0.05, 0.0)]
+        graph, positions = unit_disk_graph(points, 0.1, node_ids=["x", "y"])
+        assert graph.has_edge("x", "y")
+        assert set(positions) == {"x", "y"}
+
+    def test_node_id_count_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            unit_disk_graph([(0, 0)], 0.1, node_ids=["a", "b"])
+
+    def test_duplicate_node_ids_raise(self):
+        with pytest.raises(ConfigurationError):
+            unit_disk_graph([(0, 0), (1, 1)], 0.1, node_ids=["a", "a"])
+
+    def test_symmetry_invariant_holds(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(80, 2))
+        graph, _ = unit_disk_graph(points, 0.2)
+        graph.check_symmetry()

@@ -1,0 +1,181 @@
+"""Unit tests for the core Graph structure."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.util.errors import TopologyError
+
+
+def make_path(n):
+    return Graph(nodes=range(n), edges=[(i, i + 1) for i in range(n - 1)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert len(graph) == 0
+        assert graph.nodes == []
+        assert graph.edges == []
+        assert graph.max_degree() == 0
+
+    def test_nodes_only(self):
+        graph = Graph(nodes=[1, 2, 3])
+        assert len(graph) == 3
+        assert graph.edge_count() == 0
+
+    def test_edges_create_endpoints(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        assert set(graph.nodes) == {1, 2, 3}
+        assert graph.edge_count() == 2
+
+    def test_duplicate_node_add_is_idempotent(self):
+        graph = Graph(nodes=[1])
+        graph.add_node(1)
+        assert len(graph) == 1
+
+    def test_duplicate_edge_add_is_idempotent(self):
+        graph = Graph(edges=[(1, 2)])
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.edge_count() == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(TopologyError):
+            graph.add_edge(5, 5)
+
+    def test_string_nodes(self):
+        graph = Graph(edges=[("a", "b")])
+        assert graph.has_edge("a", "b")
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+        assert 1 in graph
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(nodes=[1, 2])
+        with pytest.raises(TopologyError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        graph.remove_node(2)
+        assert 2 not in graph
+        assert graph.neighbors(1) == {3}
+        graph.check_symmetry()
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(TopologyError):
+            Graph().remove_node(9)
+
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert 3 not in graph
+        assert clone.has_edge(2, 3)
+
+
+class TestNeighborhoods:
+    def test_neighbors_excludes_self(self):
+        graph = Graph(edges=[(1, 2), (1, 3)])
+        assert graph.neighbors(1) == {2, 3}
+
+    def test_neighbors_of_missing_node_raises(self):
+        with pytest.raises(TopologyError):
+            Graph().neighbors(1)
+
+    def test_neighbors_returns_a_copy(self):
+        graph = Graph(edges=[(1, 2)])
+        view = graph.neighbors(1)
+        view.add(99)
+        assert graph.neighbors(1) == {2}
+
+    def test_closed_neighbors(self):
+        graph = Graph(edges=[(1, 2), (1, 3)])
+        assert graph.closed_neighbors(1) == {1, 2, 3}
+
+    def test_degree_and_max_degree(self):
+        graph = Graph(edges=[(1, 2), (1, 3), (1, 4), (2, 3)])
+        assert graph.degree(1) == 3
+        assert graph.degree(4) == 1
+        assert graph.max_degree() == 3
+
+    def test_k_neighborhood_on_path(self):
+        graph = make_path(7)
+        assert graph.k_neighborhood(3, 1) == {2, 4}
+        assert graph.k_neighborhood(3, 2) == {1, 2, 4, 5}
+        assert graph.k_neighborhood(3, 3) == {0, 1, 2, 4, 5, 6}
+        assert graph.k_neighborhood(3, 10) == {0, 1, 2, 4, 5, 6}
+
+    def test_k_neighborhood_excludes_self_even_in_cycles(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        assert 0 not in graph.k_neighborhood(0, 5)
+        assert graph.k_neighborhood(0, 2) == {1, 2}
+
+    def test_k_neighborhood_requires_positive_k(self):
+        graph = make_path(3)
+        with pytest.raises(TopologyError):
+            graph.k_neighborhood(1, 0)
+
+    def test_k_neighborhood_matches_paper_definition(self):
+        # N^i = N^{i-1} union neighbors of N^{i-1}, minus p itself.
+        graph = make_path(6)
+        n1 = graph.k_neighborhood(2, 1)
+        expanded = set(n1)
+        for q in n1:
+            expanded |= graph.neighbors(q)
+        expanded.discard(2)
+        assert graph.k_neighborhood(2, 2) == expanded
+
+
+class TestQueries:
+    def test_edges_lists_each_edge_once(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        edges = graph.edges
+        assert len(edges) == 3
+        assert len({frozenset(e) for e in edges}) == 3
+
+    def test_edge_count(self):
+        graph = make_path(5)
+        assert graph.edge_count() == 4
+
+    def test_contains_and_iter(self):
+        graph = Graph(nodes=[1, 2])
+        assert 1 in graph
+        assert 9 not in graph
+        assert sorted(graph) == [1, 2]
+
+    def test_induced_subgraph(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = graph.induced_subgraph({1, 2, 3})
+        assert set(sub.nodes) == {1, 2, 3}
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(2, 3)
+        assert not sub.has_edge(3, 4)
+        assert sub.edge_count() == 2
+
+    def test_induced_subgraph_unknown_node_raises(self):
+        graph = make_path(3)
+        with pytest.raises(TopologyError):
+            graph.induced_subgraph({0, 99})
+
+    def test_induced_subgraph_is_independent(self):
+        graph = make_path(3)
+        sub = graph.induced_subgraph({0, 1})
+        sub.add_edge(0, 99)
+        assert 99 not in graph
+
+    def test_check_symmetry_detects_corruption(self):
+        graph = make_path(3)
+        graph._adj[0].add(2)  # corrupt internal state on purpose
+        with pytest.raises(TopologyError):
+            graph.check_symmetry()
+
+    def test_repr_mentions_size(self):
+        assert "n=3" in repr(make_path(3))

@@ -1,0 +1,96 @@
+"""Tests for BFS distances, eccentricity, diameter, components."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.paths import (
+    INFINITY,
+    bfs_distances,
+    connected_components,
+    diameter,
+    eccentricity,
+    hop_distance,
+    is_connected,
+)
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def path5():
+    return Graph(nodes=range(5), edges=[(i, i + 1) for i in range(4)])
+
+
+@pytest.fixture
+def two_triangles():
+    return Graph(edges=[(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)])
+
+
+class TestBfs:
+    def test_distances_on_path(self, path5):
+        assert bfs_distances(path5, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_from_middle(self, path5):
+        assert bfs_distances(path5, 2) == {0: 2, 1: 1, 2: 0, 3: 1, 4: 2}
+
+    def test_unreachable_nodes_absent(self, two_triangles):
+        distances = bfs_distances(two_triangles, 0)
+        assert set(distances) == {0, 1, 2}
+
+    def test_missing_source_raises(self, path5):
+        with pytest.raises(TopologyError):
+            bfs_distances(path5, 99)
+
+    def test_hop_distance(self, path5):
+        assert hop_distance(path5, 0, 4) == 4
+        assert hop_distance(path5, 2, 2) == 0
+
+    def test_hop_distance_disconnected_is_infinite(self, two_triangles):
+        assert hop_distance(two_triangles, 0, 10) == INFINITY
+
+    def test_hop_distance_missing_target_raises(self, path5):
+        with pytest.raises(TopologyError):
+            hop_distance(path5, 0, 99)
+
+
+class TestEccentricity:
+    def test_on_path(self, path5):
+        assert eccentricity(path5, 0) == 4
+        assert eccentricity(path5, 2) == 2
+
+    def test_restricted_targets(self, path5):
+        assert eccentricity(path5, 0, within={0, 1, 2}) == 2
+
+    def test_unreachable_target_gives_infinity(self, two_triangles):
+        assert eccentricity(two_triangles, 0) == INFINITY
+
+    def test_empty_target_set_raises(self, path5):
+        with pytest.raises(TopologyError):
+            eccentricity(path5, 0, within=set())
+
+    def test_unknown_target_raises(self, path5):
+        with pytest.raises(TopologyError):
+            eccentricity(path5, 0, within={99})
+
+
+class TestDiameterAndComponents:
+    def test_diameter_of_path(self, path5):
+        assert diameter(path5) == 4
+
+    def test_diameter_of_empty_graph(self):
+        assert diameter(Graph()) == 0
+
+    def test_diameter_of_disconnected_graph(self, two_triangles):
+        assert diameter(two_triangles) == INFINITY
+
+    def test_components(self, two_triangles):
+        components = connected_components(two_triangles)
+        assert sorted(map(sorted, components)) == [[0, 1, 2], [10, 11, 12]]
+
+    def test_components_with_isolated_nodes(self):
+        graph = Graph(nodes=[1, 2], edges=[(3, 4)])
+        assert len(connected_components(graph)) == 3
+
+    def test_is_connected(self, path5, two_triangles):
+        assert is_connected(path5)
+        assert not is_connected(two_triangles)
+        assert is_connected(Graph())

@@ -1,0 +1,115 @@
+"""Tests for multi-level hierarchy construction and addressing."""
+
+import pytest
+
+from repro.graph.generators import complete_topology, line_topology, \
+    uniform_topology
+from repro.graph.paths import connected_components
+from repro.hierarchy.hierarchy import Hierarchy, build_hierarchy
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def hierarchy300():
+    topo = uniform_topology(300, 0.12, rng=1)
+    return topo, build_hierarchy(topo, rng=2)
+
+
+class TestBuildHierarchy:
+    def test_levels_shrink(self, hierarchy300):
+        _, hierarchy = hierarchy300
+        sizes = [len(level.topology.graph) for level in hierarchy.levels]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] == 300
+
+    def test_top_level_is_terminal(self, hierarchy300):
+        topo, hierarchy = hierarchy300
+        top = hierarchy.levels[-1]
+        components = connected_components(topo.graph)
+        # Per connected component, the top level has one cluster.
+        assert top.clustering.cluster_count <= len(components) \
+            or top.index == hierarchy.depth - 1
+
+    def test_every_level_has_valid_clustering(self, hierarchy300):
+        _, hierarchy = hierarchy300
+        for level in hierarchy.levels:
+            level.clustering.check_invariants()
+
+    def test_overlay_only_below_top(self, hierarchy300):
+        _, hierarchy = hierarchy300
+        for level in hierarchy.levels[:-1]:
+            assert level.overlay is not None
+        assert hierarchy.levels[-1].overlay is None
+
+    def test_complete_graph_is_one_level(self):
+        topo = complete_topology(8)
+        hierarchy = build_hierarchy(topo, use_dag=False)
+        assert hierarchy.depth == 1
+        assert hierarchy.heads_at(0) == {0}
+
+    def test_max_levels_cap(self):
+        topo = line_topology(64)
+        hierarchy = build_hierarchy(topo, use_dag=False, max_levels=2)
+        assert hierarchy.depth <= 2
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ConfigurationError):
+            build_hierarchy(line_topology(4), max_levels=0)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Hierarchy([])
+
+
+class TestAddressing:
+    def test_address_starts_at_node_ends_at_top_head(self, hierarchy300):
+        topo, hierarchy = hierarchy300
+        for node in list(topo.graph)[:20]:
+            address = hierarchy.address(node)
+            assert address[0] == node
+            top_head = address[-1]
+            assert hierarchy.levels[-1].clustering.is_head(top_head) or \
+                top_head in hierarchy.levels[-1].topology.graph
+
+    def test_heads_have_shorter_addresses(self, hierarchy300):
+        _, hierarchy = hierarchy300
+        level0 = hierarchy.physical.clustering
+        head = next(iter(level0.heads))
+        member = next(n for n in level0.members(head) if n != head)
+        assert len(hierarchy.address(head)) <= len(hierarchy.address(member))
+
+    def test_unknown_node_rejected(self, hierarchy300):
+        _, hierarchy = hierarchy300
+        with pytest.raises(ConfigurationError):
+            hierarchy.address("nope")
+
+    def test_common_level_symmetric(self, hierarchy300):
+        topo, hierarchy = hierarchy300
+        nodes = list(topo.graph)
+        a, b = nodes[0], nodes[10]
+        assert hierarchy.common_level(a, b) == hierarchy.common_level(b, a)
+
+    def test_same_cluster_common_level_zero(self, hierarchy300):
+        _, hierarchy = hierarchy300
+        clustering = hierarchy.physical.clustering
+        head = max(clustering.heads,
+                   key=lambda h: len(clustering.members(h)))
+        members = sorted(clustering.members(head), key=repr)[:2]
+        assert hierarchy.common_level(members[0], members[1]) == 0
+
+
+class TestRoutingState:
+    def test_member_state_is_cluster_size(self, hierarchy300):
+        _, hierarchy = hierarchy300
+        clustering = hierarchy.physical.clustering
+        head = next(iter(clustering.heads))
+        member = next((n for n in clustering.members(head) if n != head),
+                      None)
+        if member is not None:
+            expected = len(clustering.members(head)) - 1
+            assert hierarchy.routing_state(member) == expected
+
+    def test_mean_state_well_below_flat(self, hierarchy300):
+        topo, hierarchy = hierarchy300
+        states = [hierarchy.routing_state(n) for n in topo.graph]
+        assert sum(states) / len(states) < 0.5 * (len(topo.graph) - 1)

@@ -1,0 +1,69 @@
+"""Tests for the cluster overlay graph."""
+
+import pytest
+
+from repro.clustering.oracle import compute_clustering
+from repro.graph.generators import line_topology, uniform_topology
+from repro.hierarchy.overlay import gateway_for, overlay_topology
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def line_overlay():
+    # 6-node line clusters into {0,1,2} (head 0) and {3,4,5} (head 3)...
+    # actually density clustering on a line gives one cluster; build a
+    # custom clustering to control the shape.
+    from repro.clustering.result import Clustering
+    topo = line_topology(6)
+    clustering = Clustering(topo.graph,
+                            {0: 0, 1: 0, 2: 1, 3: 3, 4: 3, 5: 4})
+    return topo, clustering, overlay_topology(topo, clustering)
+
+
+class TestOverlayTopology:
+    def test_nodes_are_heads(self, line_overlay):
+        _, clustering, overlay = line_overlay
+        assert set(overlay.topology.graph.nodes) == clustering.heads
+
+    def test_adjacent_clusters_linked(self, line_overlay):
+        _, _, overlay = line_overlay
+        assert overlay.topology.graph.has_edge(0, 3)
+
+    def test_gateway_realizes_the_edge(self, line_overlay):
+        topo, clustering, overlay = line_overlay
+        u, v = gateway_for(overlay, 0, 3)
+        assert clustering.head(u) == 0
+        assert clustering.head(v) == 3
+        assert topo.graph.has_edge(u, v)
+
+    def test_gateway_orientation_flips(self, line_overlay):
+        _, _, overlay = line_overlay
+        assert gateway_for(overlay, 0, 3) == \
+            tuple(reversed(gateway_for(overlay, 3, 0)))
+
+    def test_missing_edge_rejected(self, line_overlay):
+        _, _, overlay = line_overlay
+        with pytest.raises(ConfigurationError):
+            gateway_for(overlay, 0, 99)
+
+    def test_ids_inherited(self, line_overlay):
+        topo, _, overlay = line_overlay
+        for head in overlay.topology.graph:
+            assert overlay.topology.ids[head] == topo.ids[head]
+
+    def test_real_clustering_overlay(self):
+        topo = uniform_topology(80, 0.18, rng=3)
+        clustering = compute_clustering(topo.graph, tie_ids=topo.ids)
+        overlay = overlay_topology(topo, clustering)
+        # Every overlay edge must be realized by a physical border edge.
+        for a, b in overlay.topology.graph.edges:
+            u, v = gateway_for(overlay, a, b)
+            assert topo.graph.has_edge(u, v)
+            assert clustering.head(u) == a
+            assert clustering.head(v) == b
+
+    def test_positions_projected_for_heads(self):
+        topo = uniform_topology(40, 0.25, rng=4)
+        clustering = compute_clustering(topo.graph, tie_ids=topo.ids)
+        overlay = overlay_topology(topo, clustering)
+        assert set(overlay.topology.positions) == clustering.heads

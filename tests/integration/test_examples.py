@@ -1,0 +1,29 @@
+"""Every example script must run cleanly (small arguments where possible)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("grid_pathology.py", ["144", "0.15"]),
+    ("fault_recovery.py", []),
+    ("protocol_trace.py", []),
+    ("mobility_stability.py", ["80", "16"]),
+    ("hierarchical_routing.py", ["150", "0.15"]),
+    ("energy_lifetime.py", ["80", "40"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

@@ -1,0 +1,32 @@
+"""Integration: the Table 2 learning schedule on the real protocol stack."""
+
+import pytest
+
+from repro.experiments.table2 import learning_milestones
+from repro.graph.generators import line_topology, uniform_topology
+
+
+class TestLearningSchedule:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_milestones_on_random_topologies(self, seed):
+        topo = uniform_topology(40, 0.22, rng=seed)
+        milestones = learning_milestones(topo, rng=seed)
+        assert milestones["neighbors"] == 1
+        assert milestones["density"] == 2
+        assert milestones["father"] == 3
+        assert milestones["head"] >= 3
+
+    def test_head_time_is_three_plus_depth(self):
+        # On a line the head identity walks the whole chain: depth hops.
+        topo = line_topology(9)
+        milestones = learning_milestones(topo, rng=0)
+        from repro.clustering.oracle import compute_clustering
+        oracle = compute_clustering(topo.graph)
+        depth = max(oracle.depth(node) for node in topo.graph)
+        assert milestones["head"] == pytest.approx(3 + depth - 1, abs=2)
+
+    def test_with_dag_layer_schedule_unchanged(self):
+        topo = uniform_topology(40, 0.22, rng=9)
+        milestones = learning_milestones(topo, rng=9, use_dag=True)
+        assert milestones["neighbors"] == 1
+        assert milestones["density"] == 2

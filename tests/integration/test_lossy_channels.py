@@ -1,0 +1,66 @@
+"""Integration: convergence under lossy channels (the tau assumption).
+
+With any per-frame success probability tau > 0 and cache timeouts sized
+for the loss rate, the stack still converges -- only slower.  These tests
+use generous step budgets and fixed seeds; the channel statistics make
+them deterministic.
+"""
+
+import pytest
+
+from repro.graph.generators import uniform_topology
+from repro.protocols.stack import extract_clustering, standard_stack
+from repro.runtime.channel import BernoulliLossChannel, \
+    SlottedContentionChannel
+from repro.runtime.simulator import StepSimulator
+from repro.stabilization.monitor import steps_to_legitimacy
+from repro.stabilization.predicates import make_stack_predicate
+
+
+class TestBernoulliLoss:
+    @pytest.mark.parametrize("loss", [0.1, 0.3])
+    def test_converges_despite_loss(self, loss):
+        topo = uniform_topology(35, 0.25, rng=1)
+        sim = StepSimulator(topo, standard_stack(topology=topo),
+                            channel=BernoulliLossChannel(loss), rng=2,
+                            cache_timeout=16)
+        report = steps_to_legitimacy(sim, make_stack_predicate(), 600)
+        assert report.converged
+
+    def test_higher_loss_converges_slower_on_average(self):
+        # Averaged over seeds to avoid flakiness from a single trace.
+        def mean_steps(loss):
+            total = 0
+            for seed in range(4):
+                topo = uniform_topology(30, 0.28, rng=seed)
+                sim = StepSimulator(topo, standard_stack(topology=topo),
+                                    channel=BernoulliLossChannel(loss),
+                                    rng=seed + 50, cache_timeout=20)
+                report = steps_to_legitimacy(sim, make_stack_predicate(),
+                                             800)
+                assert report.converged
+                total += report.steps
+            return total / 4
+
+        assert mean_steps(0.4) > mean_steps(0.0)
+
+    def test_extracted_clustering_valid_after_convergence(self):
+        topo = uniform_topology(35, 0.25, rng=3)
+        sim = StepSimulator(topo, standard_stack(topology=topo),
+                            channel=BernoulliLossChannel(0.2), rng=4,
+                            cache_timeout=16)
+        report = steps_to_legitimacy(sim, make_stack_predicate(), 600)
+        assert report.converged
+        extract_clustering(sim).check_invariants()
+
+
+class TestSlottedContention:
+    def test_converges_under_realistic_mac(self):
+        topo = uniform_topology(30, 0.25, rng=5)
+        delta = topo.graph.max_degree()
+        channel = SlottedContentionChannel(slots=4 * max(delta, 2))
+        assert channel.tau_lower_bound(delta) > 0.5
+        sim = StepSimulator(topo, standard_stack(topology=topo),
+                            channel=channel, rng=6, cache_timeout=16)
+        report = steps_to_legitimacy(sim, make_stack_predicate(), 600)
+        assert report.converged

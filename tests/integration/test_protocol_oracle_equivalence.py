@@ -1,0 +1,60 @@
+"""Integration: the distributed protocol stabilizes to the oracle fixpoint.
+
+Lemma 2's determinism claim, checked end to end: once every cache is
+accurate, the protocol's parents and heads equal the centralized oracle's
+output under the same DAG names, for every configuration of the algorithm.
+"""
+
+import pytest
+
+from repro.clustering.oracle import compute_clustering
+from repro.graph.generators import square_grid_topology, uniform_topology
+from repro.protocols.stack import extract_clustering, standard_stack
+from repro.runtime.simulator import StepSimulator
+
+
+def converge(topology, seed, **stack_options):
+    stack = standard_stack(topology=topology, **stack_options)
+    sim = StepSimulator(topology, stack, rng=seed)
+    sim.run(60)
+    return sim
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_basic_with_dag(self, seed):
+        topo = uniform_topology(50, 0.2, rng=seed)
+        sim = converge(topo, seed)
+        oracle = compute_clustering(topo.graph, tie_ids=topo.ids,
+                                    dag_ids=sim.shared_map("dag_id"))
+        assert extract_clustering(sim).parents == oracle.parents
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_basic_without_dag(self, seed):
+        topo = uniform_topology(50, 0.2, rng=seed + 10)
+        sim = converge(topo, seed, use_dag=False)
+        oracle = compute_clustering(topo.graph, tie_ids=topo.ids)
+        assert extract_clustering(sim).parents == oracle.parents
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fusion(self, seed):
+        topo = uniform_topology(50, 0.2, rng=seed + 20)
+        sim = converge(topo, seed, fusion=True)
+        oracle = compute_clustering(topo.graph, tie_ids=topo.ids,
+                                    dag_ids=sim.shared_map("dag_id"),
+                                    fusion=True)
+        assert extract_clustering(sim, fusion=True).parents == oracle.parents
+
+    def test_on_the_adversarial_grid(self):
+        topo = square_grid_topology(64, radius=0.25)
+        sim = converge(topo, 3, use_dag=False)
+        oracle = compute_clustering(topo.graph, tie_ids=topo.ids)
+        assert extract_clustering(sim).parents == oracle.parents
+        assert oracle.cluster_count == 1  # the pathology itself
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_incumbent_reaches_a_stationary_state(self, seed):
+        from repro.stabilization.predicates import clustering_legitimate
+        topo = uniform_topology(50, 0.2, rng=seed + 30)
+        sim = converge(topo, seed, order="incumbent")
+        assert clustering_legitimate(sim, order="incumbent")

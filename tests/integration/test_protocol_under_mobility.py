@@ -1,0 +1,92 @@
+"""Integration: the distributed stack tracking a *moving* topology.
+
+The mobility experiments evaluate the oracle per window (as the paper's
+simulations do); this suite runs the actual message-passing stack while
+the topology changes under it, exercising cache expiry, link churn, and
+re-stabilization end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mobility.random_direction import RandomDirectionModel
+from repro.mobility.trace import topology_at
+from repro.protocols.stack import extract_clustering, standard_stack
+from repro.runtime.simulator import StepSimulator
+from repro.stabilization.monitor import steps_to_legitimacy
+from repro.stabilization.predicates import make_stack_predicate, \
+    neighborhood_accurate
+
+
+@pytest.fixture
+def moving_network():
+    model = RandomDirectionModel(40, speed_range=(0.002, 0.01), rng=1)
+    topology = topology_at(model.positions, radius=0.25)
+    stack = standard_stack(namespace=side_namespace(topology))
+    simulator = StepSimulator(topology, stack, rng=2, cache_timeout=4)
+    return model, simulator
+
+
+def side_namespace(topology):
+    return max(topology.graph.max_degree() ** 2, 64)
+
+
+class TestMovingTopology:
+    def test_stack_tracks_slow_motion(self, moving_network):
+        model, simulator = moving_network
+        predicate = make_stack_predicate()
+        assert steps_to_legitimacy(simulator, predicate, 200).converged
+        # Move in small increments, giving the stack a few steps per move.
+        for _ in range(6):
+            model.advance(1.0)
+            simulator.replace_topology(topology_at(model.positions,
+                                                   radius=0.25))
+            simulator.run(8)
+        report = steps_to_legitimacy(simulator, predicate, 200)
+        assert report.converged
+
+    def test_neighborhoods_heal_after_motion(self, moving_network):
+        model, simulator = moving_network
+        simulator.run(10)
+        model.advance(30.0)  # large jump: many links change at once
+        simulator.replace_topology(topology_at(model.positions, radius=0.25))
+        assert not neighborhood_accurate(simulator)
+        simulator.run(10)  # > cache_timeout: ghosts expired, news learned
+        assert neighborhood_accurate(simulator)
+
+    def test_clustering_remains_extractable_between_moves(self,
+                                                          moving_network):
+        model, simulator = moving_network
+        predicate = make_stack_predicate()
+        steps_to_legitimacy(simulator, predicate, 200)
+        for _ in range(4):
+            model.advance(0.5)
+            simulator.replace_topology(topology_at(model.positions,
+                                                   radius=0.25))
+            steps_to_legitimacy(simulator, predicate, 200)
+            clustering = extract_clustering(simulator)
+            clustering.check_invariants()
+
+    def test_head_retention_measured_on_protocol(self):
+        # The §5 metric computed from protocol state rather than oracles.
+        model = RandomDirectionModel(40, speed_range=(0.0005, 0.002), rng=5)
+        topology = topology_at(model.positions, radius=0.25)
+        simulator = StepSimulator(
+            topology, standard_stack(namespace=side_namespace(topology),
+                                     order="incumbent"),
+            rng=6, cache_timeout=4)
+        simulator.run(30)
+        from repro.protocols.stack import claimed_heads
+        retained = []
+        previous = claimed_heads(simulator)
+        for _ in range(5):
+            model.advance(2.0)
+            simulator.replace_topology(topology_at(model.positions,
+                                                   radius=0.25))
+            simulator.run(10)
+            current = claimed_heads(simulator)
+            if previous:
+                retained.append(len(previous & current) / len(previous))
+            previous = current
+        # Slow pedestrian-ish motion: most heads persist.
+        assert np.mean(retained) > 0.5

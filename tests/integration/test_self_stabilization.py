@@ -1,0 +1,90 @@
+"""Integration: the self-stabilization property itself.
+
+Convergence: from arbitrary corrupted states the stack reaches legitimacy.
+Closure: from a legitimate state it stays legitimate (lossless channel).
+"""
+
+import pytest
+
+from repro.graph.generators import square_grid_topology, uniform_topology
+from repro.protocols.stack import standard_stack
+from repro.runtime.simulator import StepSimulator
+from repro.stabilization.faults import (
+    clear_caches,
+    clear_shared,
+    duplicate_dag_ids,
+    fabricate_caches,
+    garbage_shared,
+    total_corruption,
+)
+from repro.stabilization.monitor import (
+    recovery_time,
+    steps_to_legitimacy,
+    verify_closure,
+)
+from repro.stabilization.predicates import make_stack_predicate
+
+ALL_FAULTS = [clear_caches, clear_shared, duplicate_dag_ids, garbage_shared,
+              total_corruption]
+
+
+def legitimate_simulator(seed=0, **stack_options):
+    topo = uniform_topology(40, 0.25, rng=seed)
+    sim = StepSimulator(topo, standard_stack(topology=topo, **stack_options),
+                        rng=seed)
+    predicate = make_stack_predicate(**stack_options)
+    report = steps_to_legitimacy(sim, predicate, 200)
+    assert report.converged
+    return sim, predicate
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("fault", ALL_FAULTS,
+                             ids=lambda f: f.__name__)
+    def test_recovery_from_every_fault_class(self, fault):
+        sim, predicate = legitimate_simulator(seed=1)
+        report = recovery_time(sim, fault, predicate, 300)
+        assert report.converged, f"{fault.__name__}: {report}"
+
+    def test_recovery_from_ghost_neighbors(self):
+        sim, predicate = legitimate_simulator(seed=2)
+        report = recovery_time(sim, fabricate_caches(["ghost-a", "ghost-b"]),
+                               predicate, 300)
+        assert report.converged
+
+    def test_recovery_with_fusion(self):
+        sim, predicate = legitimate_simulator(seed=3, fusion=True)
+        report = recovery_time(sim, total_corruption, predicate, 400)
+        assert report.converged
+
+    def test_recovery_on_adversarial_grid(self):
+        topo = square_grid_topology(49, radius=0.3)
+        sim = StepSimulator(topo, standard_stack(topology=topo), rng=4)
+        predicate = make_stack_predicate()
+        assert steps_to_legitimacy(sim, predicate, 300).converged
+        report = recovery_time(sim, total_corruption, predicate, 300)
+        assert report.converged
+
+    def test_partial_corruption_recovers_faster_than_total(self):
+        sim, predicate = legitimate_simulator(seed=5)
+        nodes = sorted(sim.runtimes)[:4]
+        partial = recovery_time(sim, garbage_shared, predicate, 300,
+                                nodes=nodes)
+        assert partial.converged
+        total = recovery_time(sim, total_corruption, predicate, 300)
+        assert total.converged
+        assert partial.steps <= total.steps + 5
+
+
+class TestClosure:
+    def test_closure_basic(self):
+        sim, predicate = legitimate_simulator(seed=6)
+        assert verify_closure(sim, predicate, 15) == 15
+
+    def test_closure_fusion(self):
+        sim, predicate = legitimate_simulator(seed=7, fusion=True)
+        assert verify_closure(sim, predicate, 15) == 15
+
+    def test_closure_incumbent(self):
+        sim, predicate = legitimate_simulator(seed=8, order="incumbent")
+        assert verify_closure(sim, predicate, 15) == 15

@@ -1,0 +1,117 @@
+"""Tests for cluster statistics, stability series and table rendering."""
+
+import pytest
+
+from repro.clustering.result import Clustering
+from repro.graph.generators import line_topology
+from repro.metrics.clusters import ClusterStats, cluster_stats, mean_stats
+from repro.metrics.stability import (
+    RetentionSeries,
+    head_retention,
+    retention_over_clusterings,
+)
+from repro.metrics.tables import Table
+from repro.util.errors import ConfigurationError
+
+
+def two_cluster_line():
+    graph = line_topology(4).graph
+    return Clustering(graph, {0: 0, 1: 0, 2: 3, 3: 3})
+
+
+class TestClusterStats:
+    def test_values(self):
+        stats = cluster_stats(two_cluster_line())
+        assert stats.cluster_count == 2
+        assert stats.mean_head_eccentricity == 1.0
+        assert stats.mean_tree_length == 1.0
+
+    def test_area_normalization(self):
+        stats = cluster_stats(two_cluster_line(), area=2.0)
+        assert stats.cluster_count == 1.0
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ConfigurationError):
+            cluster_stats(two_cluster_line(), area=0.0)
+
+    def test_row_shape(self):
+        stats = cluster_stats(two_cluster_line())
+        assert stats.row() == (2, 1.0, 1.0)
+
+    def test_mean_stats(self):
+        a = ClusterStats(2, 1.0, 1.0)
+        b = ClusterStats(4, 3.0, 2.0)
+        mean = mean_stats([a, b])
+        assert mean == ClusterStats(3.0, 2.0, 1.5)
+
+    def test_mean_of_nothing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_stats([])
+
+
+class TestRetention:
+    def test_head_retention_values(self):
+        assert head_retention({1, 2}, {1, 3}) == 0.5
+        assert head_retention({1}, {1}) == 1.0
+        assert head_retention({1, 2}, set()) == 0.0
+
+    def test_empty_previous_rejected(self):
+        with pytest.raises(ConfigurationError):
+            head_retention(set(), {1})
+
+    def test_series_accumulates(self):
+        series = RetentionSeries()
+        series.observe({1, 2}, {1})
+        series.observe({1}, {1})
+        assert len(series) == 2
+        assert series.mean == 0.75
+        assert series.percent == 75.0
+
+    def test_empty_series_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetentionSeries().mean
+
+    def test_retention_over_clusterings(self):
+        graph = line_topology(4).graph
+        first = Clustering(graph, {0: 0, 1: 0, 2: 3, 3: 3})
+        second = Clustering(graph, {0: 0, 1: 0, 2: 1, 3: 2})
+        series = retention_over_clusterings([first, second])
+        assert len(series) == 1
+        assert series.mean == 0.5  # head 0 kept, head 3 lost
+
+
+class TestTable:
+    def test_row_length_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row([1])
+
+    def test_formatting_aligns_and_rounds(self):
+        table = Table("Title", ["name", "value"])
+        table.add_row(["x", 1.23456])
+        text = table.formatted(precision=2)
+        assert "Title" in text
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_column_access(self):
+        table = Table("t", ["a", "b"], rows=[[1, 2], [3, 4]])
+        assert table.column("b") == [2, 4]
+
+    def test_unknown_column_rejected(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ConfigurationError):
+            table.column("zz")
+
+    def test_str_matches_formatted(self):
+        table = Table("t", ["a"], rows=[[1]])
+        assert str(table) == table.formatted()
+
+    def test_to_csv(self):
+        table = Table("t", ["name", "value"], rows=[["x", 1.5]])
+        assert table.to_csv() == "name,value\nx,1.5"
+
+    def test_to_csv_escapes_special_cells(self):
+        table = Table("t", ["a"], rows=[['he said "hi", twice']])
+        assert table.to_csv().splitlines()[1] == \
+            '"he said ""hi"", twice"'

@@ -1,0 +1,98 @@
+"""Tests for traffic accounting."""
+
+from fractions import Fraction
+
+from repro.clustering.result import Clustering
+from repro.graph.generators import line_topology
+from repro.metrics.overhead import (
+    TrafficStats,
+    frame_bytes,
+    payload_bytes,
+    reaffiliations,
+)
+from repro.runtime.frames import Frame
+
+
+class TestPayloadBytes:
+    def test_scalars(self):
+        assert payload_bytes(None) == 1
+        assert payload_bytes(True) == 1
+        assert payload_bytes(7) == 4
+        assert payload_bytes(1.5) == 4
+        assert payload_bytes(Fraction(5, 4)) == 8
+
+    def test_strings_by_encoded_length(self):
+        assert payload_bytes("abc") == 3
+        assert payload_bytes("") == 0
+
+    def test_containers_recurse(self):
+        assert payload_bytes([1, 2]) == 1 + 4 + 4
+        assert payload_bytes(frozenset({1})) == 1 + 4
+        assert payload_bytes({"k": 1}) == 1 + 1 + 4
+
+    def test_nested_summary_payload(self):
+        summary = {5: {"density": Fraction(3, 2), "head": 5}}
+        size = payload_bytes(summary)
+        assert size > payload_bytes({})
+
+    def test_frame_bytes_adds_sender(self):
+        frame = Frame(sender=1, payload={"x": 1})
+        assert frame_bytes(frame) == 4 + payload_bytes({"x": 1})
+
+
+class TestTrafficStats:
+    def test_accumulates_per_step(self):
+        stats = TrafficStats()
+        frames = {0: Frame(sender=0, payload={"x": 1}),
+                  1: Frame(sender=1, payload={"x": 2})}
+        inboxes = {0: [frames[1]], 1: [frames[0]]}
+        stats.record_step(frames, inboxes)
+        assert stats.frames_sent == 2
+        assert stats.frames_delivered == 2
+        assert stats.bytes_sent == 2 * frame_bytes(frames[0])
+        assert stats.mean_bytes_per_step() == stats.bytes_sent
+
+    def test_empty_stats(self):
+        assert TrafficStats().mean_bytes_per_step() == 0.0
+
+    def test_simulator_integration(self):
+        from repro.protocols.stack import standard_stack
+        from repro.runtime.simulator import StepSimulator
+        topo = line_topology(4)
+        sim = StepSimulator(topo, standard_stack(use_dag=False), rng=0)
+        sim.run(3)
+        assert sim.traffic.frames_sent == 12  # 4 nodes x 3 steps
+        assert sim.traffic.bytes_sent > 0
+        assert len(sim.traffic.per_step_bytes) == 3
+
+    def test_lossy_channel_reduces_deliveries_not_sends(self):
+        from repro.protocols.stack import standard_stack
+        from repro.runtime.channel import BernoulliLossChannel
+        from repro.runtime.simulator import StepSimulator
+        topo = line_topology(6)
+        ideal = StepSimulator(topo, standard_stack(use_dag=False), rng=1)
+        lossy = StepSimulator(topo, standard_stack(use_dag=False),
+                              channel=BernoulliLossChannel(0.5), rng=1)
+        ideal.run(10)
+        lossy.run(10)
+        assert lossy.traffic.frames_sent == ideal.traffic.frames_sent
+        assert lossy.traffic.frames_delivered < ideal.traffic.frames_delivered
+
+
+class TestReaffiliations:
+    def test_counts_head_changes(self):
+        graph = line_topology(4).graph
+        before = Clustering(graph, {0: 0, 1: 0, 2: 3, 3: 3})
+        after = Clustering(graph, {0: 0, 1: 0, 2: 1, 3: 2})
+        # Nodes 2 and 3 now resolve to head 0.
+        assert reaffiliations(before, after) == 2
+
+    def test_identical_clusterings(self):
+        graph = line_topology(3).graph
+        clustering = Clustering(graph, {0: 0, 1: 0, 2: 1})
+        assert reaffiliations(clustering, clustering) == 0
+
+    def test_only_common_nodes_counted(self):
+        before = Clustering(line_topology(3).graph, {0: 0, 1: 0, 2: 1})
+        after = Clustering(line_topology(2).graph, {0: 1, 1: 1})
+        assert reaffiliations(before, after) == 2  # nodes 0 and 1 changed

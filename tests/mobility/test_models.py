@@ -1,0 +1,113 @@
+"""Tests for the mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.random_direction import RandomDirectionModel
+from repro.mobility.random_waypoint import RandomWaypointModel
+from repro.util.errors import ConfigurationError
+
+
+ALL_MODELS = [
+    lambda **kw: RandomDirectionModel(speed_range=(0.0, 0.05), **kw),
+    lambda **kw: RandomWaypointModel(speed_range=(0.0, 0.05), **kw),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_MODELS)
+class TestCommonBehaviour:
+    def test_initial_positions_inside_square(self, factory):
+        model = factory(count=50, rng=1)
+        assert np.all(model.positions >= 0.0)
+        assert np.all(model.positions <= 1.0)
+
+    def test_positions_stay_inside_after_motion(self, factory):
+        model = factory(count=50, rng=2)
+        for _ in range(30):
+            model.advance(5.0)
+        assert np.all(model.positions >= 0.0)
+        assert np.all(model.positions <= 1.0)
+
+    def test_zero_dt_is_noop(self, factory):
+        model = factory(count=10, rng=3)
+        before = model.positions.copy()
+        model.advance(0.0)
+        assert np.allclose(model.positions, before)
+
+    def test_negative_dt_rejected(self, factory):
+        model = factory(count=10, rng=3)
+        with pytest.raises(ConfigurationError):
+            model.advance(-1.0)
+
+    def test_motion_actually_happens(self, factory):
+        model = factory(count=40, rng=4)
+        before = model.positions.copy()
+        model.advance(10.0)
+        moved = np.hypot(*(model.positions - before).T)
+        assert np.mean(moved) > 0.0
+
+    def test_same_seed_same_trajectory(self, factory):
+        a = factory(count=20, rng=9)
+        b = factory(count=20, rng=9)
+        a.advance(7.0)
+        b.advance(7.0)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_displacement_bounded_by_max_speed(self, factory):
+        model = factory(count=30, rng=5)
+        before = model.positions.copy()
+        model.advance(2.0)
+        moved = np.hypot(*(model.positions - before).T)
+        # Max speed 0.05/s for 2 s = 0.1 (reflection only shortens paths).
+        assert np.all(moved <= 0.1 + 1e-9)
+
+    def test_rejects_bad_speed_range(self, factory):
+        with pytest.raises(ConfigurationError):
+            RandomDirectionModel(10, speed_range=(0.5, 0.1))
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(10, speed_range=(-0.1, 0.1))
+
+    def test_rejects_empty_population(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory(count=0)
+
+
+class TestRandomDirection:
+    def test_zero_speed_nodes_never_move(self):
+        model = RandomDirectionModel(10, speed_range=(0.0, 0.0), rng=1)
+        before = model.positions.copy()
+        model.advance(100.0)
+        assert np.allclose(model.positions, before)
+
+    def test_leg_redraws_change_direction(self):
+        model = RandomDirectionModel(1, speed_range=(0.02, 0.02),
+                                     mean_leg_duration=1.0, rng=7)
+        v0 = model._velocities.copy()
+        model.advance(50.0)  # ~50 leg changes
+        assert not np.allclose(model._velocities, v0)
+
+    def test_rejects_bad_leg_duration(self):
+        with pytest.raises(ConfigurationError):
+            RandomDirectionModel(5, speed_range=(0, 0.1),
+                                 mean_leg_duration=0.0)
+
+
+class TestRandomWaypoint:
+    def test_pause_consumes_time(self):
+        model = RandomWaypointModel(1, speed_range=(10.0, 10.0), pause=1000.0,
+                                    rng=2)
+        # Reach the first waypoint almost instantly, then pause ~forever.
+        model.advance(5.0)
+        paused_at = model.positions.copy()
+        model.advance(5.0)
+        assert np.allclose(model.positions, paused_at)
+
+    def test_arrival_redraws_target(self):
+        model = RandomWaypointModel(1, speed_range=(5.0, 5.0), rng=3)
+        first_target = model._targets.copy()
+        model.advance(10.0)  # plenty of time to arrive several times
+        assert not np.allclose(model._targets, first_target)
+
+    def test_rejects_negative_pause(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(5, speed_range=(0, 0.1), pause=-1.0)

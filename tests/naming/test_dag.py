@@ -1,0 +1,96 @@
+"""Tests for DAG orientation, height, and the Theorem 1 bound."""
+
+import pytest
+
+from repro.naming.dag import (
+    dag_height,
+    orient_by_key,
+    roots,
+    theorem1_height_bound,
+)
+from repro.naming.namespace import NameSpace, recommended_size
+from repro.naming.renaming import PoliteRenaming
+from repro.graph.generators import line_topology, ring_topology, \
+    uniform_topology
+from repro.util.errors import TopologyError
+
+
+class TestOrientByKey:
+    def test_edges_point_from_larger_to_smaller(self):
+        graph = line_topology(3).graph
+        successors = orient_by_key(graph, {0: 5, 1: 3, 2: 9})
+        assert successors[0] == {1}
+        assert successors[2] == {1}
+        assert successors[1] == set()
+
+    def test_equal_neighbor_keys_raise(self):
+        graph = line_topology(2).graph
+        with pytest.raises(TopologyError):
+            orient_by_key(graph, {0: 1, 1: 1})
+
+    def test_equal_distant_keys_allowed(self):
+        graph = line_topology(3).graph
+        successors = orient_by_key(graph, {0: 1, 1: 2, 2: 1})
+        assert successors[1] == {0, 2}
+
+
+class TestDagHeight:
+    def test_monotone_path(self):
+        graph = line_topology(4).graph
+        assert dag_height(graph, {0: 0, 1: 1, 2: 2, 3: 3}) == 3
+
+    def test_alternating_path(self):
+        graph = line_topology(4).graph
+        assert dag_height(graph, {0: 0, 1: 1, 2: 0, 3: 1}) == 1
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+        assert dag_height(Graph(), {}) == 0
+
+    def test_single_node(self):
+        from repro.graph.graph import Graph
+        assert dag_height(Graph(nodes=[1]), {1: 0}) == 0
+
+    def test_ring_with_distinct_keys(self):
+        graph = ring_topology(4).graph
+        # Keys 0,1,2,3 around the ring: longest decreasing chain 3-2-1-0.
+        assert dag_height(graph, {0: 0, 1: 1, 2: 2, 3: 3}) == 3
+
+    def test_tuple_keys_supported(self):
+        graph = line_topology(3).graph
+        keys = {0: (1, 0), 1: (1, 5), 2: (2, 0)}
+        assert dag_height(graph, keys) == 2
+
+
+class TestTheorem1:
+    def test_bound_formula(self):
+        assert theorem1_height_bound(16) == 17
+
+    def test_renamed_graph_respects_bound(self, rng):
+        # Theorem 1: the renaming DAG's height is at most |gamma| + 1.
+        for seed in range(4):
+            topo = uniform_topology(60, 0.22, rng=seed)
+            size = recommended_size(topo.graph.max_degree())
+            result = PoliteRenaming(namespace=NameSpace(size)).run(
+                topo.graph, rng=rng, tie_ids=topo.ids)
+            height = dag_height(topo.graph, result.ids)
+            assert height <= theorem1_height_bound(size)
+
+    def test_small_namespace_means_small_height(self, rng):
+        # The paper's trade-off: |gamma| = delta + 2 caps the height hard.
+        topo = uniform_topology(80, 0.25, rng=9)
+        size = topo.graph.max_degree() + 2
+        result = PoliteRenaming(namespace=NameSpace(size)).run(
+            topo.graph, rng=rng, tie_ids=topo.ids)
+        assert dag_height(topo.graph, result.ids) <= size + 1
+
+
+class TestRoots:
+    def test_roots_are_local_maxima(self):
+        graph = line_topology(5).graph
+        keys = {0: 1, 1: 5, 2: 3, 3: 4, 4: 0}
+        assert roots(graph, keys) == {1, 3}
+
+    def test_all_roots_in_singleton_graph(self):
+        from repro.graph.graph import Graph
+        assert roots(Graph(nodes=[1, 2]), {1: 0, 2: 0}) == {1, 2}

@@ -1,0 +1,100 @@
+"""Property tests: structural invariants of the clustering fixpoint."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.oracle import compute_clustering
+from repro.graph.paths import bfs_distances
+
+from tests.property.strategies import connected_graphs, graphs
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=graphs())
+def test_parents_form_valid_forest(graph):
+    clustering = compute_clustering(graph)
+    for node in graph:
+        parent = clustering.parent(node)
+        assert parent == node or graph.has_edge(node, parent)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=graphs())
+def test_heads_are_exactly_self_parents(graph):
+    clustering = compute_clustering(graph)
+    for node in graph:
+        assert clustering.is_head(node) == (clustering.parent(node) == node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=graphs())
+def test_no_two_adjacent_heads(graph):
+    clustering = compute_clustering(graph)
+    for u, v in graph.edges:
+        assert not (clustering.is_head(u) and clustering.is_head(v))
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=graphs())
+def test_clusters_are_connected(graph):
+    clustering = compute_clustering(graph)
+    for head, members in clustering.clusters.items():
+        subgraph = graph.induced_subgraph(members)
+        assert set(bfs_distances(subgraph, head)) == set(members)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=graphs())
+def test_every_node_reaches_a_head(graph):
+    clustering = compute_clustering(graph)
+    for node in graph:
+        head = clustering.head(node)
+        assert clustering.is_head(head)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=graphs())
+def test_parent_never_precedes_child(graph):
+    # F(p) strictly succeeds p under the order unless p is a head; this is
+    # the acyclicity argument of the stabilization proof.
+    from repro.clustering.density import all_densities
+    densities = all_densities(graph, exact=True)
+    clustering = compute_clustering(graph)
+    for node in graph:
+        parent = clustering.parent(node)
+        if parent != node:
+            assert (densities[parent], -parent) > (densities[node], -node)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=connected_graphs())
+def test_fusion_heads_three_hops_apart(graph):
+    clustering = compute_clustering(graph, fusion=True)
+    clustering.check_fusion_separation()
+    for head, members in clustering.clusters.items():
+        subgraph = graph.induced_subgraph(members)
+        assert set(bfs_distances(subgraph, head)) == set(members)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs(), shift=st.integers(0, 3))
+def test_dag_ids_preserve_invariants(graph, shift):
+    # Arbitrary (even conflicting) DAG names may change who wins, but never
+    # break the forest or the non-adjacent-heads invariants.
+    dag_ids = {node: (node + shift) % 4 for node in graph}
+    clustering = compute_clustering(graph, dag_ids=dag_ids)
+    for u, v in graph.edges:
+        assert not (clustering.is_head(u) and clustering.is_head(v))
+    for head, members in clustering.clusters.items():
+        subgraph = graph.induced_subgraph(members)
+        assert set(bfs_distances(subgraph, head)) == set(members)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs())
+def test_incumbent_stationarity(graph):
+    # Re-solving with the previous solution's heads as incumbents must
+    # reproduce the same head set (hysteresis fixpoint).
+    first = compute_clustering(graph, order="incumbent")
+    second = compute_clustering(graph, order="incumbent", previous=first)
+    assert second.heads == first.heads

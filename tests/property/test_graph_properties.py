@@ -1,0 +1,68 @@
+"""Property tests: graph structure invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.paths import bfs_distances, connected_components
+
+from tests.property.strategies import graphs
+
+
+@settings(max_examples=60)
+@given(graph=graphs())
+def test_symmetry_always_holds(graph):
+    graph.check_symmetry()
+
+
+@settings(max_examples=60)
+@given(graph=graphs())
+def test_degree_sum_equals_twice_edges(graph):
+    assert sum(graph.degree(n) for n in graph) == 2 * graph.edge_count()
+
+
+@settings(max_examples=60)
+@given(graph=graphs(min_nodes=1))
+def test_k_neighborhoods_are_monotone(graph):
+    node = next(iter(graph))
+    previous = set()
+    for k in range(1, 5):
+        current = graph.k_neighborhood(node, k)
+        assert previous <= current
+        previous = current
+
+
+@settings(max_examples=60)
+@given(graph=graphs(min_nodes=1))
+def test_k_neighborhood_matches_bfs(graph):
+    node = next(iter(graph))
+    distances = bfs_distances(graph, node)
+    for k in (1, 2, 3):
+        expected = {q for q, d in distances.items() if 1 <= d <= k}
+        assert graph.k_neighborhood(node, k) == expected
+
+
+@settings(max_examples=60)
+@given(graph=graphs())
+def test_components_partition_nodes(graph):
+    components = connected_components(graph)
+    union = set()
+    total = 0
+    for component in components:
+        assert not (component & union)
+        union |= component
+        total += len(component)
+    assert union == set(graph.nodes)
+    assert total == len(graph)
+
+
+@settings(max_examples=40)
+@given(graph=graphs(min_nodes=2), data=st.data())
+def test_remove_edge_inverts_add_edge(graph, data):
+    u = data.draw(st.sampled_from(sorted(graph.nodes)))
+    v = data.draw(st.sampled_from(sorted(set(graph.nodes) - {u})))
+    had = graph.has_edge(u, v)
+    if not had:
+        graph.add_edge(u, v)
+        graph.remove_edge(u, v)
+        assert not graph.has_edge(u, v)
+        graph.check_symmetry()

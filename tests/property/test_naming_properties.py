@@ -1,0 +1,68 @@
+"""Property tests: renaming invariants on arbitrary graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.naming.dag import dag_height, theorem1_height_bound
+from repro.naming.namespace import NameSpace, recommended_size
+from repro.naming.renaming import (
+    PoliteRenaming,
+    RandomizedRenaming,
+    is_locally_unique,
+)
+
+from tests.property.strategies import graphs
+
+
+def namespace_for(graph):
+    return NameSpace(recommended_size(graph.max_degree()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs(), seed=st.integers(0, 1000))
+def test_randomized_renaming_reaches_local_uniqueness(graph, seed):
+    result = RandomizedRenaming(namespace=namespace_for(graph)).run(
+        graph, rng=np.random.default_rng(seed))
+    assert is_locally_unique(graph, result.ids)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs(), seed=st.integers(0, 1000))
+def test_polite_renaming_reaches_local_uniqueness(graph, seed):
+    result = PoliteRenaming(namespace=namespace_for(graph)).run(
+        graph, rng=np.random.default_rng(seed))
+    assert is_locally_unique(graph, result.ids)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graphs(), seed=st.integers(0, 1000))
+def test_renaming_from_adversarial_all_zero_start(graph, seed):
+    initial = {node: 0 for node in graph}
+    result = RandomizedRenaming(namespace=namespace_for(graph)).run(
+        graph, rng=np.random.default_rng(seed), initial_ids=initial)
+    assert is_locally_unique(graph, result.ids)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graphs(min_nodes=2), seed=st.integers(0, 1000))
+def test_height_bound_holds(graph, seed):
+    namespace = namespace_for(graph)
+    result = PoliteRenaming(namespace=namespace).run(
+        graph, rng=np.random.default_rng(seed))
+    if graph.edge_count() == 0:
+        return
+    assert dag_height(graph, result.ids) <= \
+        theorem1_height_bound(len(namespace))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graphs(), seed=st.integers(0, 1000))
+def test_stable_names_are_never_redrawn(graph, seed):
+    rng = np.random.default_rng(seed)
+    namespace = namespace_for(graph)
+    first = PoliteRenaming(namespace=namespace).run(graph, rng=rng)
+    second = PoliteRenaming(namespace=namespace).run(
+        graph, rng=rng, initial_ids=first.ids)
+    assert second.ids == first.ids
+    assert second.redraw_rounds == 0

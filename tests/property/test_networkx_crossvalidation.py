@@ -1,0 +1,65 @@
+"""Cross-validation of graph algorithms against networkx.
+
+networkx is available in the test environment only (it is not a library
+dependency); these tests use it as an independent oracle for the
+substrate's BFS, components, triangle counting and density values.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.clustering.density import all_densities
+from repro.graph.paths import bfs_distances, connected_components, diameter
+
+from tests.property.strategies import graphs
+
+
+def to_networkx(graph):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(graph.nodes)
+    nxg.add_edges_from(graph.edges)
+    return nxg
+
+
+@settings(max_examples=50)
+@given(graph=graphs())
+def test_bfs_distances_match(graph):
+    nxg = to_networkx(graph)
+    source = next(iter(graph))
+    assert bfs_distances(graph, source) == \
+        nx.single_source_shortest_path_length(nxg, source)
+
+
+@settings(max_examples=50)
+@given(graph=graphs())
+def test_components_match(graph):
+    nxg = to_networkx(graph)
+    ours = sorted(map(sorted, connected_components(graph)))
+    theirs = sorted(map(sorted, nx.connected_components(nxg)))
+    assert ours == theirs
+
+
+@settings(max_examples=50)
+@given(graph=graphs())
+def test_densities_match_triangle_oracle(graph):
+    nxg = to_networkx(graph)
+    triangles = nx.triangles(nxg)
+    densities = all_densities(graph)
+    for node in graph:
+        degree = graph.degree(node)
+        if degree == 0:
+            assert densities[node] == 0.0
+        else:
+            expected = (degree + triangles[node]) / degree
+            assert densities[node] == pytest.approx(expected)
+
+
+@settings(max_examples=30)
+@given(graph=graphs(min_nodes=2))
+def test_diameter_matches(graph):
+    nxg = to_networkx(graph)
+    if nx.is_connected(nxg):
+        assert diameter(graph) == nx.diameter(nxg)
+    else:
+        assert diameter(graph) == float("inf")

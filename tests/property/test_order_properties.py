@@ -1,0 +1,51 @@
+"""Property tests: the precedence orders are strict total orders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.order import BasicOrder, IncumbentOrder
+
+from tests.property.strategies import node_views
+
+ORDERS = st.sampled_from([BasicOrder(), IncumbentOrder()])
+
+
+@given(order=ORDERS, p=node_views(node=1), q=node_views(node=2))
+def test_antisymmetry(order, p, q):
+    if order.key(p) == order.key(q):
+        return  # indistinguishable views; precedes() raises by design
+    assert order.precedes(p, q) != order.precedes(q, p)
+
+
+@given(order=ORDERS, p=node_views(node=1))
+def test_irreflexivity(order, p):
+    assert not order.key(p) < order.key(p)
+
+
+@settings(max_examples=200)
+@given(order=ORDERS, p=node_views(node=1), q=node_views(node=2),
+       r=node_views(node=3))
+def test_transitivity(order, p, q, r):
+    if order.key(p) < order.key(q) and order.key(q) < order.key(r):
+        assert order.key(p) < order.key(r)
+
+
+@given(order=ORDERS, p=node_views(node=1), q=node_views(node=2))
+def test_density_dominates_everything(order, p, q):
+    if p.density < q.density:
+        assert order.key(p) < order.key(q)
+
+
+@given(p=node_views(node=1), q=node_views(node=2))
+def test_incumbent_only_matters_on_density_ties(p, q):
+    basic, incumbent = BasicOrder(), IncumbentOrder()
+    if p.density != q.density:
+        assert (basic.key(p) < basic.key(q)) == \
+            (incumbent.key(p) < incumbent.key(q))
+
+
+@given(p=node_views(node=1), q=node_views(node=2))
+def test_distinct_tie_ids_guarantee_distinct_keys(p, q):
+    # With no DAG names, distinct tie ids must never produce equal keys.
+    if p.dag_id is None and q.dag_id is None and p.tie_id != q.tie_id:
+        assert BasicOrder().key(p) != BasicOrder().key(q)

@@ -1,0 +1,152 @@
+"""Tests for the distributed density clustering protocol (R1/R2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.clustering.density import all_densities
+from repro.graph.generators import figure1_topology, line_topology, \
+    star_topology, uniform_topology
+from repro.protocols.clustering import DensityClusteringProtocol
+from repro.protocols.stack import claimed_heads, extract_clustering, \
+    standard_stack
+from repro.runtime.simulator import StepSimulator
+from repro.util.errors import ConfigurationError
+
+
+class TestConfiguration:
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DensityClusteringProtocol(order="wrong")
+
+    def test_summary_only_sent_with_fusion(self):
+        from repro.runtime.node import NodeRuntime
+        runtime = NodeRuntime(node_id=0)
+        plain = DensityClusteringProtocol()
+        plain.initialize(runtime, None)
+        assert "summary" not in plain.payload(runtime)
+        fused = DensityClusteringProtocol(fusion=True)
+        assert "summary" in fused.payload(runtime)
+
+
+class TestR1Density:
+    def test_densities_match_truth_after_two_steps(self, fig1):
+        sim = StepSimulator(fig1, standard_stack(use_dag=False), rng=0)
+        sim.run(2)
+        truth = all_densities(fig1.graph, exact=True)
+        shared = sim.shared_map("density")
+        assert shared == truth
+
+    def test_isolated_node_density_zero(self):
+        from repro.graph.generators import Topology
+        from repro.graph.graph import Graph
+        topo = Topology(Graph(nodes=[1]))
+        sim = StepSimulator(topo, standard_stack(use_dag=False), rng=0)
+        sim.run(2)
+        assert sim.shared_map("density")[1] == Fraction(0)
+
+    def test_densities_are_exact_fractions(self, fig1):
+        sim = StepSimulator(fig1, standard_stack(use_dag=False), rng=0)
+        sim.run(3)
+        assert all(isinstance(value, Fraction)
+                   for value in sim.shared_map("density").values())
+
+
+class TestR2Heads:
+    def test_figure1_heads(self, fig1):
+        sim = StepSimulator(fig1, standard_stack(use_dag=False), rng=0)
+        sim.run(10)
+        assert claimed_heads(sim) == {"h", "j"}
+
+    def test_head_values_propagate_down_trees(self, fig1):
+        sim = StepSimulator(fig1, standard_stack(use_dag=False), rng=0)
+        sim.run(10)
+        heads = sim.shared_map("head")
+        assert heads["c"] == "h"  # two parent-hops away from its head
+
+    def test_star_center_becomes_head(self):
+        topo = star_topology(5)
+        sim = StepSimulator(topo, standard_stack(use_dag=False), rng=0)
+        sim.run(6)
+        assert claimed_heads(sim) == {0}
+
+    def test_stable_state_stays_stable(self, fig1):
+        sim = StepSimulator(fig1, standard_stack(use_dag=False), rng=0)
+        sim.run(10)
+        parents = sim.shared_map("parent")
+        sim.run(10)
+        assert sim.shared_map("parent") == parents
+
+
+class TestExtractClustering:
+    def test_extracts_valid_clustering(self, fig1):
+        sim = StepSimulator(fig1, standard_stack(use_dag=False), rng=0)
+        sim.run(10)
+        clustering = extract_clustering(sim)
+        clustering.check_invariants()
+        assert clustering.heads == {"h", "j"}
+
+    def test_unset_parents_become_self(self):
+        topo = line_topology(3)
+        sim = StepSimulator(topo, standard_stack(use_dag=False), rng=0)
+        # No steps run: parents all None -> treated as self-heads.
+        clustering = extract_clustering(sim)
+        assert clustering.heads == {0, 1, 2}
+
+    def test_dag_ids_attached_when_present(self):
+        topo = line_topology(4)
+        sim = StepSimulator(topo, standard_stack(topology=topo), rng=0)
+        sim.run(12)
+        clustering = extract_clustering(sim)
+        assert clustering.dag_ids is not None
+        assert set(clustering.dag_ids) == set(topo.graph.nodes)
+
+
+class TestFusionProtocol:
+    def test_fusion_heads_three_hops_apart(self):
+        for seed in range(4):
+            topo = uniform_topology(50, 0.22, rng=seed + 20)
+            sim = StepSimulator(topo,
+                                standard_stack(topology=topo, fusion=True),
+                                rng=seed)
+            sim.run(40)
+            clustering = extract_clustering(sim, fusion=True)
+            clustering.check_fusion_separation()
+
+    def test_fusion_reduces_or_keeps_cluster_count(self):
+        topo = uniform_topology(50, 0.22, rng=31)
+        plain_sim = StepSimulator(topo, standard_stack(topology=topo), rng=1)
+        fused_sim = StepSimulator(topo,
+                                  standard_stack(topology=topo, fusion=True),
+                                  rng=1)
+        plain_sim.run(40)
+        fused_sim.run(40)
+        plain = extract_clustering(plain_sim)
+        fused = extract_clustering(fused_sim, fusion=True)
+        assert fused.cluster_count <= plain.cluster_count
+
+
+class TestIncumbentProtocol:
+    def test_incumbent_head_resists_tie_challenger(self):
+        # Line 0-1: equal densities; with the incumbent order, an
+        # *established* head (advertising both its headship and its
+        # density) stays head even though node 0 has the smaller id.
+        topo = line_topology(2)
+        sim = StepSimulator(topo,
+                            standard_stack(use_dag=False, order="incumbent"),
+                            rng=0)
+        sim.runtime(1).shared["head"] = 1
+        sim.runtime(1).shared["parent"] = 1
+        sim.runtime(1).shared["density"] = Fraction(1)
+        sim.run(10)
+        assert claimed_heads(sim) == {1}
+
+    def test_basic_order_dethrones_incumbent_on_tie(self):
+        # Same setup under the basic order: the smaller id must win.
+        topo = line_topology(2)
+        sim = StepSimulator(topo, standard_stack(use_dag=False), rng=0)
+        sim.runtime(1).shared["head"] = 1
+        sim.runtime(1).shared["parent"] = 1
+        sim.runtime(1).shared["density"] = Fraction(1)
+        sim.run(10)
+        assert claimed_heads(sim) == {0}

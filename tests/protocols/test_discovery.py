@@ -1,0 +1,40 @@
+"""Tests for the hello/discovery layer."""
+
+from repro.graph.generators import line_topology, star_topology
+from repro.protocols.discovery import HelloProtocol
+from repro.runtime.simulator import StepSimulator
+
+
+class TestHelloProtocol:
+    def test_neighbors_known_after_one_step(self):
+        topo = star_topology(4)
+        sim = StepSimulator(topo, HelloProtocol(), rng=0)
+        sim.step()
+        assert sim.runtime(0).known_neighbors() == {1, 2, 3, 4}
+        assert sim.runtime(1).known_neighbors() == {0}
+
+    def test_shared_neighbors_lag_one_step(self):
+        topo = line_topology(2)
+        sim = StepSimulator(topo, HelloProtocol(), rng=0)
+        sim.step()
+        # After step 1 the shared variable reflects the fresh cache...
+        assert sim.runtime(0).shared["neighbors"] == frozenset({1})
+        # ...but what 1 has *cached about 0* is still the pre-step value.
+        assert sim.runtime(1).cached(0, "neighbors") == frozenset()
+
+    def test_two_hop_view_after_two_steps(self):
+        topo = line_topology(5)
+        sim = StepSimulator(topo, HelloProtocol(), rng=0)
+        sim.run(2)
+        assert sim.runtime(2).two_hop_view() == {0, 1, 3, 4}
+
+    def test_tie_id_carried_in_frames(self):
+        topo = line_topology(2)
+        sim = StepSimulator(topo, HelloProtocol(), rng=0)
+        sim.step()
+        assert sim.runtime(0).cached(1, "tie_id") == 1
+
+    def test_initialize_sets_empty_neighborhood(self):
+        topo = line_topology(2)
+        sim = StepSimulator(topo, HelloProtocol(), rng=0)
+        assert sim.runtime(0).shared["neighbors"] == frozenset()

@@ -1,0 +1,76 @@
+"""Tests for the distributed DAG naming protocol."""
+
+import pytest
+
+from repro.graph.generators import complete_topology, line_topology, \
+    uniform_topology
+from repro.naming.namespace import NameSpace
+from repro.naming.renaming import is_locally_unique
+from repro.protocols.base import ProtocolStack
+from repro.protocols.discovery import HelloProtocol
+from repro.protocols.naming import DagNamingProtocol
+from repro.runtime.simulator import StepSimulator
+from repro.util.errors import ConfigurationError
+
+
+def naming_stack(namespace, variant="polite"):
+    return ProtocolStack([HelloProtocol(),
+                          DagNamingProtocol(namespace, variant=variant)])
+
+
+class TestConstruction:
+    def test_namespace_coercion(self):
+        protocol = DagNamingProtocol(16)
+        assert isinstance(protocol.namespace, NameSpace)
+        assert len(protocol.namespace) == 16
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DagNamingProtocol(16, variant="impolite")
+
+
+@pytest.mark.parametrize("variant", ["randomized", "polite"])
+class TestConvergence:
+    def test_local_uniqueness_reached(self, variant):
+        topo = uniform_topology(40, 0.25, rng=2)
+        size = max(topo.graph.max_degree() ** 2, 8)
+        sim = StepSimulator(topo, naming_stack(size, variant), rng=5)
+        sim.run(15)
+        ids = sim.shared_map("dag_id")
+        assert is_locally_unique(topo.graph, ids)
+        assert all(name in NameSpace(size) for name in ids.values())
+
+    def test_recovers_from_duplicate_names(self, variant):
+        topo = complete_topology(5)
+        sim = StepSimulator(topo, naming_stack(100, variant), rng=6)
+        sim.run(5)
+        sim.corrupt(lambda runtime, _rng: runtime.shared.update(dag_id=0))
+        sim.run(25)
+        assert is_locally_unique(topo.graph, sim.shared_map("dag_id"))
+
+    def test_recovers_from_out_of_space_names(self, variant):
+        topo = line_topology(4)
+        sim = StepSimulator(topo, naming_stack(9, variant), rng=7)
+        sim.corrupt(lambda runtime, _rng: runtime.shared.update(dag_id=10**6))
+        sim.run(15)
+        ids = sim.shared_map("dag_id")
+        assert all(name in NameSpace(9) for name in ids.values())
+
+
+class TestPoliteSemantics:
+    def test_larger_tie_id_keeps_name(self):
+        topo = line_topology(2)
+        sim = StepSimulator(topo, naming_stack(50, "polite"), rng=8)
+        sim.corrupt(lambda runtime, _rng: runtime.shared.update(dag_id=3))
+        sim.run(6)
+        ids = sim.shared_map("dag_id")
+        assert ids[1] == 3       # larger normal id never re-draws
+        assert ids[0] != 3
+
+    def test_stable_names_never_change(self):
+        topo = line_topology(3)
+        sim = StepSimulator(topo, naming_stack(50, "polite"), rng=9)
+        sim.run(8)
+        before = sim.shared_map("dag_id")
+        sim.run(8)
+        assert sim.shared_map("dag_id") == before

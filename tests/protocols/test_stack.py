@@ -1,0 +1,86 @@
+"""Tests for protocol composition and the standard stack builder."""
+
+import pytest
+
+from repro.graph.generators import line_topology
+from repro.protocols.base import Protocol, ProtocolStack
+from repro.protocols.discovery import HelloProtocol
+from repro.protocols.stack import standard_stack
+from repro.runtime.guarded import GuardedCommand, Program, always
+from repro.runtime.node import NodeRuntime
+from repro.util.errors import ConfigurationError
+
+
+class StubProtocol(Protocol):
+    def __init__(self, key):
+        self.key = key
+
+    def initialize(self, runtime, rng):
+        runtime.shared[self.key] = 0
+
+    def payload(self, runtime):
+        return {self.key: runtime.shared[self.key]}
+
+    def program(self):
+        def bump(runtime, _rng):
+            runtime.shared[self.key] += 1
+        return Program([GuardedCommand(f"bump-{self.key}", always, bump)])
+
+
+class TestProtocolStack:
+    def test_payloads_merge(self):
+        stack = ProtocolStack([StubProtocol("a"), StubProtocol("b")])
+        runtime = NodeRuntime(node_id=0)
+        stack.initialize(runtime, None)
+        assert stack.payload(runtime) == {"a": 0, "b": 0}
+
+    def test_payload_collision_rejected(self):
+        stack = ProtocolStack([StubProtocol("a"), StubProtocol("a")])
+        runtime = NodeRuntime(node_id=0)
+        stack.initialize(runtime, None)
+        with pytest.raises(ConfigurationError):
+            stack.payload(runtime)
+
+    def test_programs_concatenate_in_order(self):
+        stack = ProtocolStack([StubProtocol("a"), StubProtocol("b")])
+        names = [c.name for c in stack.program()]
+        assert names == ["bump-a", "bump-b"]
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolStack([])
+
+    def test_base_protocol_defaults(self):
+        protocol = Protocol()
+        runtime = NodeRuntime(node_id=0)
+        protocol.initialize(runtime, None)
+        assert protocol.payload(runtime) == {}
+        assert len(protocol.program()) == 0
+
+
+class TestStandardStack:
+    def test_layers_with_dag(self):
+        topo = line_topology(3)
+        stack = standard_stack(topology=topo)
+        names = [c.name for c in stack.program()]
+        assert names == ["hello:update-neighborhood", "naming:N1",
+                         "clustering:R1-density", "clustering:R2-head"]
+
+    def test_layers_without_dag(self):
+        stack = standard_stack(use_dag=False)
+        names = [c.name for c in stack.program()]
+        assert "naming:N1" not in names
+
+    def test_namespace_sizing_needs_topology(self):
+        with pytest.raises(ConfigurationError):
+            standard_stack(use_dag=True)
+
+    def test_explicit_namespace_size(self):
+        stack = standard_stack(namespace=32)
+        naming_layer = stack.layers[1]
+        assert len(naming_layer.namespace) == 32
+
+    def test_hello_always_first(self):
+        topo = line_topology(3)
+        stack = standard_stack(topology=topo, fusion=True)
+        assert isinstance(stack.layers[0], HelloProtocol)

@@ -1,0 +1,135 @@
+"""Tests for the radio channel models, including the tau bound."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import complete_topology, line_topology, \
+    star_topology
+from repro.runtime.channel import (
+    BernoulliLossChannel,
+    IdealChannel,
+    SlottedContentionChannel,
+)
+from repro.runtime.frames import Frame
+from repro.util.errors import ConfigurationError
+
+
+def frames_for(topology):
+    return {node: Frame(sender=node, payload={"n": node})
+            for node in topology.graph}
+
+
+class TestIdealChannel:
+    def test_every_neighbor_receives(self, rng):
+        topo = star_topology(4)
+        inboxes = IdealChannel().deliver(frames_for(topo), topo.graph, rng)
+        assert len(inboxes[0]) == 4  # center hears all leaves
+        assert len(inboxes[1]) == 1  # leaves hear only the center
+        assert inboxes[1][0].sender == 0
+
+    def test_non_neighbors_do_not_receive(self, rng):
+        topo = line_topology(3)
+        inboxes = IdealChannel().deliver(frames_for(topo), topo.graph, rng)
+        senders_at_0 = {f.sender for f in inboxes[0]}
+        assert senders_at_0 == {1}
+
+    def test_isolated_node_gets_empty_inbox(self, rng):
+        from repro.graph.generators import Topology
+        from repro.graph.graph import Graph
+        topo = Topology(Graph(nodes=[1]))
+        inboxes = IdealChannel().deliver(frames_for(topo), topo.graph, rng)
+        assert inboxes[1] == []
+
+    def test_partial_transmissions(self, rng):
+        topo = line_topology(3)
+        frames = {0: Frame(sender=0)}
+        inboxes = IdealChannel().deliver(frames, topo.graph, rng)
+        assert len(inboxes[1]) == 1
+        assert inboxes[2] == []
+
+
+class TestBernoulliLossChannel:
+    def test_zero_loss_equals_ideal(self, rng):
+        topo = complete_topology(5)
+        lossy = BernoulliLossChannel(0.0).deliver(frames_for(topo),
+                                                  topo.graph, rng)
+        assert all(len(inbox) == 4 for inbox in lossy.values())
+
+    def test_loss_rate_statistics(self):
+        rng = np.random.default_rng(0)
+        topo = complete_topology(10)
+        channel = BernoulliLossChannel(0.3)
+        received = 0
+        total = 0
+        for _ in range(50):
+            inboxes = channel.deliver(frames_for(topo), topo.graph, rng)
+            received += sum(len(inbox) for inbox in inboxes.values())
+            total += 10 * 9
+        rate = received / total
+        assert 0.65 <= rate <= 0.75
+
+    def test_tau_property(self):
+        assert BernoulliLossChannel(0.25).tau == 0.75
+
+    def test_rejects_certain_loss(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLossChannel(1.0)
+        with pytest.raises(ConfigurationError):
+            BernoulliLossChannel(-0.1)
+
+
+class TestSlottedContentionChannel:
+    def test_needs_two_slots(self):
+        with pytest.raises(ConfigurationError):
+            SlottedContentionChannel(1)
+
+    def test_single_pair_may_collide_on_half_duplex(self):
+        # Two neighbors with 2 slots: if they pick the same slot neither
+        # hears the other (half-duplex); with different slots both do.
+        rng = np.random.default_rng(1)
+        topo = line_topology(2)
+        channel = SlottedContentionChannel(2)
+        outcomes = set()
+        for _ in range(60):
+            inboxes = channel.deliver(frames_for(topo), topo.graph, rng)
+            outcomes.add((len(inboxes[0]), len(inboxes[1])))
+        assert (1, 1) in outcomes  # different slots happen
+        assert (0, 0) in outcomes  # same slot happens
+
+    def test_empirical_rate_beats_tau_bound(self):
+        # On the complete graph the per-link success probability *equals*
+        # ((k-1)/k)^delta, so compare against the strictly smaller bound
+        # for delta+1 to keep the statistical test one-sided.
+        rng = np.random.default_rng(2)
+        topo = complete_topology(6)
+        channel = SlottedContentionChannel(12)
+        tau = channel.tau_lower_bound(topo.graph.max_degree() + 1)
+        received = 0
+        total = 0
+        for _ in range(80):
+            inboxes = channel.deliver(frames_for(topo), topo.graph, rng)
+            received += sum(len(inbox) for inbox in inboxes.values())
+            total += 6 * 5
+        assert received / total >= tau
+
+    def test_tau_bound_positive_constant(self):
+        channel = SlottedContentionChannel(8)
+        assert 0 < channel.tau_lower_bound(20) < 1
+
+    def test_tau_bound_monotone_in_slots(self):
+        few = SlottedContentionChannel(4).tau_lower_bound(10)
+        many = SlottedContentionChannel(64).tau_lower_bound(10)
+        assert many > few
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ConfigurationError):
+            SlottedContentionChannel(4).tau_lower_bound(-1)
+
+    def test_collision_requires_shared_slot(self):
+        # With an enormous slot count collisions become negligible.
+        rng = np.random.default_rng(3)
+        topo = complete_topology(4)
+        channel = SlottedContentionChannel(10_000)
+        inboxes = channel.deliver(frames_for(topo), topo.graph, rng)
+        received = sum(len(inbox) for inbox in inboxes.values())
+        assert received >= 10  # at most a couple of unlucky collisions

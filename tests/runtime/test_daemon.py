@@ -1,0 +1,81 @@
+"""Tests for execution daemons and self-stabilization under asynchrony."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import uniform_topology
+from repro.protocols.stack import standard_stack
+from repro.runtime.daemon import (
+    CentralDaemon,
+    RandomSubsetDaemon,
+    SynchronousDaemon,
+)
+from repro.runtime.simulator import StepSimulator
+from repro.stabilization.monitor import steps_to_legitimacy
+from repro.stabilization.predicates import make_stack_predicate
+from repro.util.errors import ConfigurationError
+
+
+class TestDaemonSelection:
+    def test_synchronous_selects_everyone(self, rng):
+        daemon = SynchronousDaemon()
+        assert daemon.select([1, 2, 3], rng) == {1, 2, 3}
+
+    def test_central_selects_exactly_one(self, rng):
+        daemon = CentralDaemon()
+        for _ in range(10):
+            assert len(daemon.select([1, 2, 3, 4], rng)) == 1
+
+    def test_central_on_empty_set(self, rng):
+        assert CentralDaemon().select([], rng) == set()
+
+    def test_random_subset_rate(self):
+        rng = np.random.default_rng(0)
+        daemon = RandomSubsetDaemon(0.3)
+        total = sum(len(daemon.select(range(100), rng)) for _ in range(50))
+        assert 1000 <= total <= 2000  # ~1500 expected
+
+    def test_random_subset_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            RandomSubsetDaemon(0.0)
+        with pytest.raises(ConfigurationError):
+            RandomSubsetDaemon(1.5)
+
+    def test_full_probability_equals_synchronous(self, rng):
+        daemon = RandomSubsetDaemon(1.0)
+        assert daemon.select([1, 2], rng) == {1, 2}
+
+
+class TestConvergenceUnderAsynchrony:
+    """Self-stabilization must survive any (fair) daemon."""
+
+    def test_random_subset_daemon_converges(self):
+        topo = uniform_topology(30, 0.28, rng=1)
+        sim = StepSimulator(topo, standard_stack(topology=topo), rng=2,
+                            daemon=RandomSubsetDaemon(0.5),
+                            cache_timeout=30)
+        report = steps_to_legitimacy(sim, make_stack_predicate(), 600)
+        assert report.converged
+
+    def test_sparser_activation_is_slower(self):
+        def steps(probability, seed):
+            topo = uniform_topology(25, 0.3, rng=seed)
+            sim = StepSimulator(topo, standard_stack(topology=topo),
+                                rng=seed,
+                                daemon=RandomSubsetDaemon(probability),
+                                cache_timeout=40)
+            report = steps_to_legitimacy(sim, make_stack_predicate(), 1500)
+            assert report.converged
+            return report.steps
+
+        dense = sum(steps(0.9, s) for s in range(3))
+        sparse = sum(steps(0.2, s) for s in range(3))
+        assert sparse > dense
+
+    def test_central_daemon_converges_on_tiny_network(self):
+        # One activation per step: convergence takes O(n * height) steps.
+        topo = uniform_topology(8, 0.6, rng=3)
+        sim = StepSimulator(topo, standard_stack(topology=topo), rng=4,
+                            daemon=CentralDaemon(), cache_timeout=200)
+        report = steps_to_legitimacy(sim, make_stack_predicate(), 2000)
+        assert report.converged

@@ -1,0 +1,21 @@
+"""Tests for the Frame dataclass."""
+
+from repro.runtime.frames import Frame
+
+
+class TestFrame:
+    def test_get_present_value(self):
+        frame = Frame(sender=1, payload={"x": 5})
+        assert frame.get("x") == 5
+
+    def test_get_default(self):
+        frame = Frame(sender=1)
+        assert frame.get("missing") is None
+        assert frame.get("missing", 7) == 7
+
+    def test_default_payload_empty(self):
+        assert Frame(sender=1).payload == {}
+
+    def test_frames_are_hash_frozen(self):
+        frame = Frame(sender=1, payload={"x": 5})
+        assert frame.sender == 1

@@ -1,0 +1,74 @@
+"""Tests for guarded-command programs."""
+
+import pytest
+
+from repro.runtime.guarded import GuardedCommand, Program, always
+from repro.runtime.node import NodeRuntime
+from repro.util.errors import ConfigurationError
+
+
+def set_flag(name, value):
+    def action(runtime, _rng):
+        runtime.shared[name] = value
+    return action
+
+
+def flag_is(name, value):
+    def guard(runtime, _rng):
+        return runtime.shared.get(name) == value
+    return guard
+
+
+@pytest.fixture
+def runtime():
+    return NodeRuntime(node_id=0)
+
+
+class TestGuardedCommand:
+    def test_fires_when_guard_holds(self, runtime, rng):
+        command = GuardedCommand("set", always, set_flag("x", 1))
+        assert command.fire(runtime, rng)
+        assert runtime.shared["x"] == 1
+
+    def test_skips_when_guard_false(self, runtime, rng):
+        command = GuardedCommand("set", flag_is("x", 99), set_flag("x", 1))
+        assert not command.fire(runtime, rng)
+        assert "x" not in runtime.shared
+
+    def test_always_guard(self, runtime, rng):
+        assert always(runtime, rng) is True
+
+
+class TestProgram:
+    def test_round_robin_order(self, runtime, rng):
+        program = Program([
+            GuardedCommand("first", always, set_flag("x", 1)),
+            GuardedCommand("second", flag_is("x", 1), set_flag("x", 2)),
+        ])
+        fired = program.execute(runtime, rng)
+        # The second command sees the first's effect within the same pass,
+        # matching "all statements with true guards execute within a step".
+        assert fired == ["first", "second"]
+        assert runtime.shared["x"] == 2
+
+    def test_reports_only_fired_commands(self, runtime, rng):
+        program = Program([
+            GuardedCommand("never", flag_is("x", 99), set_flag("x", 1)),
+            GuardedCommand("always", always, set_flag("y", 1)),
+        ])
+        assert program.execute(runtime, rng) == ["always"]
+
+    def test_duplicate_names_rejected(self):
+        command = GuardedCommand("dup", always, set_flag("x", 1))
+        with pytest.raises(ConfigurationError):
+            Program([command, command])
+
+    def test_len_and_iter(self):
+        commands = [GuardedCommand("a", always, set_flag("x", 1)),
+                    GuardedCommand("b", always, set_flag("y", 1))]
+        program = Program(commands)
+        assert len(program) == 2
+        assert [c.name for c in program] == ["a", "b"]
+
+    def test_empty_program(self, runtime, rng):
+        assert Program([]).execute(runtime, rng) == []

@@ -1,0 +1,81 @@
+"""Tests for per-node runtime state: caches, expiry, views."""
+
+import pytest
+
+from repro.runtime.frames import Frame
+from repro.runtime.node import NodeRuntime
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def node():
+    return NodeRuntime(node_id="p", tie_id=1, cache_timeout=3)
+
+
+class TestIngest:
+    def test_frame_becomes_cache_entry(self, node):
+        node.ingest(Frame(sender="q", payload={"x": 5}), now=1)
+        assert node.cached("q", "x") == 5
+        assert node.known_neighbors() == {"q"}
+
+    def test_own_frames_ignored(self, node):
+        node.ingest(Frame(sender="p", payload={"x": 5}), now=1)
+        assert node.known_neighbors() == set()
+
+    def test_newer_frame_replaces_older(self, node):
+        node.ingest(Frame(sender="q", payload={"x": 1}), now=1)
+        node.ingest(Frame(sender="q", payload={"x": 2}), now=2)
+        assert node.cached("q", "x") == 2
+
+    def test_payload_copied(self, node):
+        payload = {"x": 1}
+        node.ingest(Frame(sender="q", payload=payload), now=1)
+        payload["x"] = 99
+        assert node.cached("q", "x") == 1
+
+
+class TestExpiry:
+    def test_fresh_entries_survive(self, node):
+        node.ingest(Frame(sender="q"), now=5)
+        node.expire_caches(now=7)
+        assert "q" in node.known_neighbors()
+
+    def test_stale_entries_evicted(self, node):
+        node.ingest(Frame(sender="q"), now=5)
+        node.expire_caches(now=8)  # age 3 >= timeout 3
+        assert node.known_neighbors() == set()
+
+    def test_refresh_resets_age(self, node):
+        node.ingest(Frame(sender="q"), now=1)
+        node.ingest(Frame(sender="q"), now=4)
+        node.expire_caches(now=6)
+        assert "q" in node.known_neighbors()
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            NodeRuntime(node_id="p", cache_timeout=0)
+
+
+class TestViews:
+    def test_cached_default(self, node):
+        assert node.cached("missing", "x", default=42) == 42
+        node.ingest(Frame(sender="q", payload={}), now=1)
+        assert node.cached("q", "x", default=7) == 7
+
+    def test_cached_all(self, node):
+        node.ingest(Frame(sender="q", payload={"x": 1}), now=1)
+        node.ingest(Frame(sender="r", payload={"x": 2}), now=1)
+        assert node.cached_all("x") == {"q": 1, "r": 2}
+
+    def test_two_hop_view_unions_reported_sets(self, node):
+        node.ingest(Frame(sender="q",
+                          payload={"neighbors": frozenset({"p", "r"})}),
+                    now=1)
+        node.ingest(Frame(sender="s", payload={"neighbors": frozenset()}),
+                    now=1)
+        view = node.two_hop_view()
+        assert view == {"q", "r", "s"}  # p itself excluded
+
+    def test_tie_id_defaults_to_node_id(self):
+        runtime = NodeRuntime(node_id=9)
+        assert runtime.tie_id == 9

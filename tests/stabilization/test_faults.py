@@ -1,0 +1,82 @@
+"""Tests for the fault injectors."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.runtime.node import NodeRuntime
+from repro.stabilization.faults import (
+    clear_caches,
+    clear_shared,
+    duplicate_dag_ids,
+    fabricate_caches,
+    garbage_shared,
+    random_subset,
+    total_corruption,
+)
+
+
+@pytest.fixture
+def runtime():
+    node = NodeRuntime(node_id=3)
+    node.shared.update(dag_id=7, density=Fraction(3, 2), head=5, parent=4,
+                       neighbors=frozenset({1, 2}))
+    from repro.runtime.frames import Frame
+    node.ingest(Frame(sender=1, payload={"dag_id": 1}), now=1)
+    return node
+
+
+class TestInjectors:
+    def test_clear_caches(self, runtime, rng):
+        clear_caches(runtime, rng)
+        assert runtime.known_neighbors() == set()
+
+    def test_clear_shared(self, runtime, rng):
+        clear_shared(runtime, rng)
+        assert all(value is None for value in runtime.shared.values())
+
+    def test_duplicate_dag_ids(self, runtime, rng):
+        duplicate_dag_ids(runtime, rng)
+        assert runtime.shared["dag_id"] == 0
+
+    def test_garbage_shared_is_type_correct(self, runtime, rng):
+        garbage_shared(runtime, rng)
+        assert isinstance(runtime.shared["dag_id"], int)
+        assert isinstance(runtime.shared["density"], Fraction)
+        assert runtime.shared["parent"] == 3
+
+    def test_garbage_only_touches_known_fields(self, rng):
+        node = NodeRuntime(node_id=1)
+        node.shared["custom"] = "keep"
+        garbage_shared(node, rng)
+        assert node.shared["custom"] == "keep"
+
+    def test_fabricate_caches(self, runtime, rng):
+        mutate = fabricate_caches(["ghost1", "ghost2"])
+        mutate(runtime, rng)
+        assert {"ghost1", "ghost2"} <= runtime.known_neighbors()
+        # Ghosts are born maximally stale and die at the next expiry.
+        runtime.expire_caches(now=5)
+        assert "ghost1" not in runtime.known_neighbors()
+
+    def test_total_corruption(self, runtime, rng):
+        total_corruption(runtime, rng)
+        assert runtime.known_neighbors() == set()
+        assert isinstance(runtime.shared["dag_id"], int)
+
+
+class TestRandomSubset:
+    def test_respects_fraction(self):
+        rng = np.random.default_rng(0)
+        picked = random_subset(range(100), 0.25, rng)
+        assert len(picked) == 25
+
+    def test_at_least_one(self):
+        rng = np.random.default_rng(0)
+        assert len(random_subset(range(10), 0.0, rng)) == 1
+
+    def test_no_duplicates(self):
+        rng = np.random.default_rng(0)
+        picked = random_subset(range(20), 0.5, rng)
+        assert len(set(picked)) == len(picked)

@@ -1,0 +1,55 @@
+"""Tests for the ASCII renderer."""
+
+import pytest
+
+from repro.clustering.oracle import compute_clustering
+from repro.graph.generators import figure1_topology, line_topology
+from repro.viz.ascii import cluster_legend, render_clustering
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def fig1_clustered():
+    topo = figure1_topology()
+    return topo, compute_clustering(topo.graph, tie_ids=topo.ids)
+
+
+class TestRenderClustering:
+    def test_renders_all_visible_nodes(self, fig1_clustered):
+        topo, clustering = fig1_clustered
+        text = render_clustering(topo, clustering, width=40, height=16)
+        # Two clusters -> symbols a/A and b/B; heads uppercase.
+        visible = set(text.replace("\n", "").replace(" ", ""))
+        assert visible <= {"a", "A", "b", "B"}
+        assert "A" in visible and "B" in visible
+
+    def test_heads_win_canvas_collisions(self, fig1_clustered):
+        topo, clustering = fig1_clustered
+        # Tiny canvas forces collisions; heads must stay visible.
+        text = render_clustering(topo, clustering, width=3, height=3)
+        upper = [c for c in text if c.isupper()]
+        assert upper
+
+    def test_requires_positions(self):
+        topo = line_topology(3)
+        clustering = compute_clustering(topo.graph)
+        with pytest.raises(ConfigurationError):
+            render_clustering(topo, clustering)
+
+    def test_requires_canvas(self, fig1_clustered):
+        topo, clustering = fig1_clustered
+        with pytest.raises(ConfigurationError):
+            render_clustering(topo, clustering, width=1, height=10)
+
+
+class TestClusterLegend:
+    def test_counts_and_sizes(self, fig1_clustered):
+        _, clustering = fig1_clustered
+        legend = cluster_legend(clustering)
+        assert legend.startswith("2 clusters")
+        assert "5 nodes" in legend  # cluster of h: {h, b, i, c, e}
+
+    def test_truncation(self, fig1_clustered):
+        _, clustering = fig1_clustered
+        legend = cluster_legend(clustering, limit=1)
+        assert "and 1 more" in legend
