@@ -4,9 +4,15 @@ Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
 tables inline).  Heavy experiment benches use ``benchmark.pedantic`` with
 a single round: the quantity of interest is the regenerated table, the
 timing is informative only.
+
+``--jobs N`` (registered in the repo-level conftest) fans each bench's
+Monte-Carlo runs over N worker processes; the regenerated tables are
+identical for every value, only the wall-clock changes.
 """
 
 import pytest
+
+from repro.experiments.engine import resolve_jobs
 
 
 @pytest.fixture
@@ -16,3 +22,9 @@ def show():
         print()
         print(table_or_text)
     return _show
+
+
+@pytest.fixture
+def jobs(request):
+    """Worker count for the experiment engine, from ``--jobs``."""
+    return resolve_jobs(request.config.getoption("--jobs"))

@@ -3,10 +3,10 @@
 from repro.experiments.churn import run_churn_experiment
 
 
-def test_bench_churn(benchmark, show):
+def test_bench_churn(benchmark, show, jobs):
     table = benchmark.pedantic(
         lambda: run_churn_experiment(initial_count=60, epochs=12, runs=2,
-                                     rng=2024),
+                                     rng=2024, jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     ready = table.column("ready fraction %")

@@ -8,12 +8,12 @@ from repro.experiments.common import get_preset
 from repro.experiments.comparison import run_comparison
 
 
-def test_bench_metric_comparison(benchmark, show):
+def test_bench_metric_comparison(benchmark, show, jobs):
     preset = get_preset("quick", mobility_nodes=300,
                         mobility_duration=60.0)
     table = benchmark.pedantic(
         lambda: run_comparison(preset, regime="pedestrian", radius=0.1,
-                               rng=2024, runs=2),
+                               rng=2024, runs=2, jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     retention = dict(zip(table.column("metric"),

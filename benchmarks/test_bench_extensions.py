@@ -10,9 +10,10 @@ from repro.experiments.energy_lifetime import run_energy_lifetime
 from repro.experiments.scalability import run_scalability
 
 
-def test_bench_scalability(benchmark, show):
+def test_bench_scalability(benchmark, show, jobs):
     table = benchmark.pedantic(
-        lambda: run_scalability(sizes=(200, 400, 800), pairs=30, rng=2024),
+        lambda: run_scalability(sizes=(200, 400, 800), pairs=30, rng=2024,
+                                jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     savings = table.column("savings x")
@@ -23,10 +24,10 @@ def test_bench_scalability(benchmark, show):
     assert savings[-1] > savings[0]
 
 
-def test_bench_energy_lifetime(benchmark, show):
+def test_bench_energy_lifetime(benchmark, show, jobs):
     table = benchmark.pedantic(
         lambda: run_energy_lifetime(nodes=200, windows=120, runs=3,
-                                    rng=2024),
+                                    rng=2024, jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     rows = {row[0]: row for row in table.rows}

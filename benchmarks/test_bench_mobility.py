@@ -10,12 +10,12 @@ from repro.experiments.common import get_preset
 from repro.experiments.mobility import run_mobility_experiment
 
 
-def test_bench_mobility(benchmark, show):
+def test_bench_mobility(benchmark, show, jobs):
     preset = get_preset("quick", mobility_nodes=400,
                         mobility_duration=120.0)
     table = benchmark.pedantic(
         lambda: run_mobility_experiment(preset, radius=0.1, rng=2024,
-                                        runs=2),
+                                        runs=2, jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     rows = {row[0]: row for row in table.rows}

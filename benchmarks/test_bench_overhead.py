@@ -13,12 +13,13 @@ from repro.experiments.overhead import run_beacon_cost, \
     run_reaffiliation_churn
 
 
-def test_bench_reaffiliation_churn(benchmark, show):
+def test_bench_reaffiliation_churn(benchmark, show, jobs):
     preset = get_preset("quick", mobility_nodes=300,
                         mobility_duration=60.0)
     table = benchmark.pedantic(
         lambda: run_reaffiliation_churn(preset, regime="pedestrian",
-                                        radius=0.1, rng=2024, runs=2),
+                                        radius=0.1, rng=2024, runs=2,
+                                        jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     churn = dict(zip(table.column("metric"),
@@ -26,9 +27,9 @@ def test_bench_reaffiliation_churn(benchmark, show):
     assert all(0.0 <= value <= 100.0 for value in churn.values())
 
 
-def test_bench_beacon_cost(benchmark, show):
+def test_bench_beacon_cost(benchmark, show, jobs):
     table = benchmark.pedantic(
-        lambda: run_beacon_cost(nodes=150, steps=30, rng=2024),
+        lambda: run_beacon_cost(nodes=150, steps=30, rng=2024, jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     costs = dict(zip(table.column("configuration"),
@@ -37,10 +38,11 @@ def test_bench_beacon_cost(benchmark, show):
         costs["no DAG, basic"]
 
 
-def test_bench_intensity_sweep(benchmark, show):
+def test_bench_intensity_sweep(benchmark, show, jobs):
     table = benchmark.pedantic(
         lambda: run_intensity_sweep(intensities=(300, 600, 1000, 1500),
-                                    radius=0.1, runs=4, rng=2024),
+                                    radius=0.1, runs=4, rng=2024,
+                                    jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     density_heads = table.column("density heads")

@@ -13,10 +13,10 @@ from repro.experiments.stabilization_time import (
 )
 
 
-def test_bench_stabilization_scaling(benchmark, show):
+def test_bench_stabilization_scaling(benchmark, show, jobs):
     table = benchmark.pedantic(
         lambda: run_scaling_experiment(sides=(4, 6, 8, 10, 12), runs=2,
-                                       rng=2024),
+                                       rng=2024, jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     no_dag = table.column("steps (no DAG)")
@@ -27,10 +27,11 @@ def test_bench_stabilization_scaling(benchmark, show):
     assert with_dag[-1] < no_dag[-1]
 
 
-def test_bench_fault_recovery(benchmark, show):
+def test_bench_fault_recovery(benchmark, show, jobs):
     preset = get_preset("quick", runs=3)
     table = benchmark.pedantic(
-        lambda: run_recovery_experiment(preset, side=8, rng=2024),
+        lambda: run_recovery_experiment(preset, side=8, rng=2024,
+                                        jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     assert all(flag == "yes" for flag in table.column("all converged"))

@@ -4,10 +4,10 @@ from repro.experiments.common import get_preset
 from repro.experiments.table2 import run_table2
 
 
-def test_bench_table2(benchmark, show):
+def test_bench_table2(benchmark, show, jobs):
     preset = get_preset("quick", runs=5)
     table = benchmark.pedantic(
-        lambda: run_table2(preset, radius=0.15, rng=2024),
+        lambda: run_table2(preset, radius=0.15, rng=2024, jobs=jobs),
         rounds=1, iterations=1)
     show(table)
     steps = table.column("measured step")

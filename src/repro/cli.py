@@ -4,14 +4,17 @@ Usage::
 
     python -m repro list
     python -m repro table3 --preset quick --seed 2024
-    python -m repro table5 --preset paper
+    python -m repro table4 --preset paper --jobs 8
+    python -m repro table5 --preset paper --jobs auto
     python -m repro figure3
     python -m repro mobility --preset quick
     python -m repro scalability
     python -m repro energy
 
 Experiment output is printed as the same plain-text tables the benchmark
-suite shows.
+suite shows.  ``--jobs`` fans the Monte-Carlo runs out over worker
+processes; results are identical for every value (see
+``repro.experiments.engine``).
 """
 
 import argparse
@@ -20,6 +23,7 @@ import sys
 from repro.experiments.churn import run_churn_experiment
 from repro.experiments.comparison import run_comparison
 from repro.experiments.energy_lifetime import run_energy_lifetime
+from repro.experiments.engine import resolve_jobs
 from repro.experiments.figures import run_figure1, run_figure2, run_figure3
 from repro.experiments.intensity_sweep import run_intensity_sweep
 from repro.experiments.mobility import run_mobility_experiment
@@ -35,24 +39,39 @@ from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
+from repro.util.errors import ConfigurationError
+
+
+def _jobs_arg(value):
+    try:
+        return resolve_jobs(value)
+    except ConfigurationError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def _table1(args):
-    table, exact = run_table1()
+    table, exact = run_table1(jobs=args.jobs)
     print(table)
     print("exact match with the paper:", exact)
 
 
 def _preset_runner(runner):
     def run(args):
-        print(runner(args.preset, rng=args.seed))
+        print(runner(args.preset, rng=args.seed, jobs=args.jobs))
+    return run
+
+
+def _seed_runner(runner):
+    def run(args):
+        print(runner(rng=args.seed, jobs=args.jobs))
     return run
 
 
 EXPERIMENTS = {
     "table1": ("Table 1: densities on the Figure 1 example", _table1),
     "table2": ("Table 2: the step-model learning schedule",
-               _preset_runner(lambda p, rng: run_table2(p, rng=rng))),
+               _preset_runner(lambda p, rng, jobs: run_table2(
+                   p, rng=rng, jobs=jobs))),
     "table3": ("Table 3: steps to build the DAG",
                _preset_runner(run_table3)),
     "table4": ("Table 4: clusters on random geometric graphs",
@@ -66,29 +85,35 @@ EXPERIMENTS = {
     "figure3": ("Figure 3: grid with DAG (many compact clusters)",
                 lambda args: print(run_figure3(rng=args.seed))),
     "mobility": ("Section 5 mobility: head re-election stability",
-                 _preset_runner(lambda p, rng: run_mobility_experiment(
-                     p, rng=rng, runs=2))),
+                 _preset_runner(lambda p, rng, jobs: run_mobility_experiment(
+                     p, rng=rng, runs=2, jobs=jobs))),
     "comparison": ("Density vs degree vs lowest-ID vs max-min stability",
-                   _preset_runner(lambda p, rng: run_comparison(
-                       p, rng=rng))),
+                   _preset_runner(lambda p, rng, jobs: run_comparison(
+                       p, rng=rng, jobs=jobs))),
     "scaling": ("Stabilization steps vs grid side (Lemma 2, empirically)",
-                lambda args: print(run_scaling_experiment(rng=args.seed))),
+                _seed_runner(lambda rng, jobs: run_scaling_experiment(
+                    rng=rng, jobs=jobs))),
     "recovery": ("Fault-injection recovery times",
-                 _preset_runner(lambda p, rng: run_recovery_experiment(
-                     p, rng=rng))),
+                 _preset_runner(lambda p, rng, jobs: run_recovery_experiment(
+                     p, rng=rng, jobs=jobs))),
     "scalability": ("Extension: routing state, flat vs hierarchical",
-                    lambda args: print(run_scalability(rng=args.seed))),
+                    _seed_runner(lambda rng, jobs: run_scalability(
+                        rng=rng, jobs=jobs))),
     "energy": ("Extension: network lifetime, static vs energy-aware",
-               lambda args: print(run_energy_lifetime(rng=args.seed))),
+               _seed_runner(lambda rng, jobs: run_energy_lifetime(
+                   rng=rng, jobs=jobs))),
     "intensity": ("Section 3 claim: head count falls as lambda grows",
-                  lambda args: print(run_intensity_sweep(rng=args.seed))),
+                  _seed_runner(lambda rng, jobs: run_intensity_sweep(
+                      rng=rng, jobs=jobs))),
     "churn": ("Re-affiliation traffic per metric under mobility",
-              _preset_runner(lambda p, rng: run_reaffiliation_churn(
-                  p, rng=rng))),
+              _preset_runner(lambda p, rng, jobs: run_reaffiliation_churn(
+                  p, rng=rng, jobs=jobs))),
     "beacons": ("Steady-state beacon bytes per protocol configuration",
-                lambda args: print(run_beacon_cost(rng=args.seed))),
+                _seed_runner(lambda rng, jobs: run_beacon_cost(
+                    rng=rng, jobs=jobs))),
     "node-churn": ("Recovery under node arrivals and departures",
-                   lambda args: print(run_churn_experiment(rng=args.seed))),
+                   _seed_runner(lambda rng, jobs: run_churn_experiment(
+                       rng=rng, jobs=jobs))),
 }
 
 
@@ -103,6 +128,10 @@ def build_parser():
                         help="workload preset: quick (default), paper, smoke")
     parser.add_argument("--seed", type=int, default=2024,
                         help="root RNG seed (default 2024)")
+    parser.add_argument("--jobs", default=1, type=_jobs_arg,
+                        help="worker processes for Monte-Carlo runs "
+                             "(default 1; 0 or 'auto' = all cores); "
+                             "results are identical for every value")
     return parser
 
 

@@ -14,6 +14,7 @@ near-constant number of steps, because the density metric and the DAG
 keep the affected region small (the robustness argument of Section 2).
 """
 
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.metrics.tables import Table
 from repro.mobility.churn import ChurnProcess
 from repro.protocols.stack import standard_stack
@@ -48,28 +49,38 @@ def run_churn_epochs(initial_count, radius, leave_probability, arrival_rate,
     return ready, epochs, mean_steps
 
 
-def run_churn_experiment(initial_count=60, radius=0.22, epochs=15, runs=2,
-                         rng=None,
-                         churn_levels=((0.0, 0.0), (0.05, 3.0), (0.15, 9.0))):
-    """Sweep churn intensities; returns a Table.
+def _run_one(task):
+    initial_count, radius, leave_probability, arrival_rate, epochs, \
+        run_rng = task
+    return run_churn_epochs(initial_count, radius, leave_probability,
+                            arrival_rate, epochs, rng=run_rng)
 
-    ``churn_levels`` pairs a per-epoch leave probability with a Poisson
-    arrival rate (matched so the population stays roughly stationary).
-    """
+
+def _build(preset, rng, options):
+    # spawn_rngs is called once per churn level with the caller's raw
+    # argument, matching the historical loop.
+    return [(options["initial_count"], options["radius"], leave_probability,
+             arrival_rate, options["epochs"], run_rng)
+            for leave_probability, arrival_rate in options["churn_levels"]
+            for run_rng in spawn_rngs(rng, options["runs"])]
+
+
+def _reduce(preset, tasks, results, options):
+    runs = options["runs"]
     table = Table(
-        title=(f"Churn recovery ({initial_count} nodes, R={radius}, "
-               f"{epochs} epochs x {runs} runs)"),
+        title=(f"Churn recovery ({options['initial_count']} nodes, "
+               f"R={options['radius']}, "
+               f"{options['epochs']} epochs x {runs} runs)"),
         headers=["leave prob", "arrival rate", "ready fraction %",
                  "mean recovery steps"],
     )
-    for leave_probability, arrival_rate in churn_levels:
+    result_iter = iter(results)
+    for leave_probability, arrival_rate in options["churn_levels"]:
         ready_total = 0
         epoch_total = 0
         steps_accumulated = 0.0
-        for run_rng in spawn_rngs(rng, runs):
-            ready, total, mean_steps = run_churn_epochs(
-                initial_count, radius, leave_probability, arrival_rate,
-                epochs, rng=run_rng)
+        for _ in range(runs):
+            ready, total, mean_steps = next(result_iter)
             ready_total += ready
             epoch_total += total
             steps_accumulated += mean_steps
@@ -77,3 +88,21 @@ def run_churn_experiment(initial_count=60, radius=0.22, epochs=15, runs=2,
                        100.0 * ready_total / epoch_total,
                        steps_accumulated / runs])
     return table
+
+
+CHURN_SPEC = ExperimentSpec(name="churn", build=_build, run=_run_one,
+                            reduce=_reduce)
+
+
+def run_churn_experiment(initial_count=60, radius=0.22, epochs=15, runs=2,
+                         rng=None, jobs=1,
+                         churn_levels=((0.0, 0.0), (0.05, 3.0), (0.15, 9.0))):
+    """Sweep churn intensities; returns a Table.
+
+    ``churn_levels`` pairs a per-epoch leave probability with a Poisson
+    arrival rate (matched so the population stays roughly stationary).
+    """
+    return run_experiment(CHURN_SPEC, rng=rng, jobs=jobs,
+                          initial_count=initial_count, radius=radius,
+                          epochs=epochs, runs=runs,
+                          churn_levels=tuple(churn_levels))

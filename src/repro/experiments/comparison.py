@@ -6,18 +6,25 @@ experiment replays one mobility trace per run and measures head retention
 for every metric over the same topology sequence, making the comparison
 paired.  It also reports mean cluster counts, since stability alone is
 trivially won by degenerate clusterings.
+
+Traces execute through the parallel experiment engine; each trace is one
+task with its own pre-spawned generator, and the reducer concatenates the
+per-window observations in task order, so the table is identical for
+every ``jobs`` value.
 """
 
 from repro.clustering.baselines.degree import degree_clustering
 from repro.clustering.baselines.lowest_id import lowest_id_clustering
 from repro.clustering.baselines.maxmin import maxmin_clustering
 from repro.experiments.common import clustered, get_preset
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.mobility import SPEED_REGIMES, speed_range_in_sides
-from repro.metrics.stability import RetentionSeries
+from repro.metrics.stability import head_retention
 from repro.metrics.tables import Table
+from repro.util.errors import ConfigurationError
 from repro.mobility.random_direction import RandomDirectionModel
 from repro.mobility.trace import topology_at
-from repro.util.rng import as_rng, spawn_rngs
+from repro.util.rng import spawn_rngs
 
 
 def _density_heads(topology, _rng):
@@ -36,48 +43,76 @@ METRICS = {
 }
 
 
-def run_comparison(preset="quick", regime="pedestrian", radius=0.1, rng=None,
-                   runs=1):
-    """Head retention per clustering metric over shared mobility traces."""
-    preset = get_preset(preset)
-    rng = as_rng(rng)
-    speed_range = speed_range_in_sides(SPEED_REGIMES[regime])
-    retention = {name: RetentionSeries() for name in METRICS}
+def _run_trace(task):
+    """One mobility trace; returns per-metric observation lists."""
+    nodes, speed_range, radius, windows, mobility_window, run_rng = task
+    model = RandomDirectionModel(nodes, speed_range, rng=run_rng)
+    retention = {name: [] for name in METRICS}
     membership_kept = {name: [] for name in METRICS}
     cluster_counts = {name: [] for name in METRICS}
+    previous = {name: None for name in METRICS}
+    for _ in range(windows + 1):
+        topology = topology_at(model.positions, radius)
+        for name, build in METRICS.items():
+            clustering = build(topology, run_rng)
+            cluster_counts[name].append(clustering.cluster_count)
+            if previous[name] is not None:
+                retention[name].append(head_retention(
+                    previous[name].heads, clustering.heads))
+                membership_kept[name].append(_membership_retention(
+                    previous[name], clustering))
+            previous[name] = clustering
+        model.advance(mobility_window)
+    return {"retention": retention, "membership": membership_kept,
+            "counts": cluster_counts}
+
+
+def _build(preset, rng, options):
+    speed_range = speed_range_in_sides(SPEED_REGIMES[options["regime"]])
     windows = int(round(preset.mobility_duration / preset.mobility_window))
+    return [(preset.mobility_nodes, speed_range, options["radius"], windows,
+             preset.mobility_window, run_rng)
+            for run_rng in spawn_rngs(rng, options["runs"])]
 
-    for run_rng in spawn_rngs(rng, runs):
-        model = RandomDirectionModel(preset.mobility_nodes, speed_range,
-                                     rng=run_rng)
-        previous = {name: None for name in METRICS}
-        for _ in range(windows + 1):
-            topology = topology_at(model.positions, radius)
-            for name, build in METRICS.items():
-                clustering = build(topology, run_rng)
-                cluster_counts[name].append(clustering.cluster_count)
-                if previous[name] is not None:
-                    retention[name].observe(previous[name].heads,
-                                            clustering.heads)
-                    membership_kept[name].append(_membership_retention(
-                        previous[name], clustering))
-                previous[name] = clustering
-            model.advance(preset.mobility_window)
 
+def _reduce(preset, tasks, results, options):
+    merged = {name: {"retention": [], "membership": [], "counts": []}
+              for name in METRICS}
+    for trace in results:
+        for name in METRICS:
+            merged[name]["retention"].extend(trace["retention"][name])
+            merged[name]["membership"].extend(trace["membership"][name])
+            merged[name]["counts"].extend(trace["counts"][name])
     table = Table(
-        title=(f"Metric stability under {regime} mobility "
+        title=(f"Metric stability under {options['regime']} mobility "
                f"({preset.mobility_nodes} nodes, "
-               f"{preset.mobility_duration:.0f}s x {runs} trace(s))"),
+               f"{preset.mobility_duration:.0f}s x "
+               f"{options['runs']} trace(s))"),
         headers=["metric", "% heads retained / window",
                  "% nodes keeping their head", "mean #clusters"],
     )
     for name in METRICS:
-        counts = cluster_counts[name]
-        kept = membership_kept[name]
-        table.add_row([name, retention[name].percent,
-                       100.0 * sum(kept) / len(kept),
-                       sum(counts) / len(counts)])
+        series = merged[name]
+        if not series["retention"]:
+            raise ConfigurationError("no retention windows observed")
+        table.add_row([
+            name,
+            100.0 * sum(series["retention"]) / len(series["retention"]),
+            100.0 * sum(series["membership"]) / len(series["membership"]),
+            sum(series["counts"]) / len(series["counts"]),
+        ])
     return table
+
+
+COMPARISON_SPEC = ExperimentSpec(name="comparison", build=_build,
+                                 run=_run_trace, reduce=_reduce)
+
+
+def run_comparison(preset="quick", regime="pedestrian", radius=0.1, rng=None,
+                   runs=1, jobs=1):
+    """Head retention per clustering metric over shared mobility traces."""
+    return run_experiment(COMPARISON_SPEC, get_preset(preset), rng=rng,
+                          jobs=jobs, regime=regime, radius=radius, runs=runs)
 
 
 def _membership_retention(before, after):

@@ -5,41 +5,72 @@ improves *stability*); its conclusion asks what happens when energy enters
 the picture.  This experiment drains batteries by role over clustering
 windows and compares the incumbent policy against energy-aware rotation
 on the same deployments.
+
+Deployments execute through the parallel experiment engine: one task per
+deployment, both policies evaluated on the same topology inside the task
+so the comparison stays paired under any ``jobs`` value.
 """
 
 from repro.energy.lifetime import simulate_lifetime
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.graph.generators import uniform_topology
 from repro.metrics.tables import Table
-from repro.util.rng import as_rng, spawn_rngs
+from repro.util.rng import spawn_rngs
+
+_POLICIES = ("static", "energy-aware")
+
+
+def _run_one(task):
+    """One deployment; returns per-policy lifetime metrics."""
+    nodes, radius, windows, head_cost, member_cost, capacity, run_rng = task
+    topology = uniform_topology(nodes, radius, rng=run_rng)
+    metrics = {}
+    for policy in _POLICIES:
+        result = simulate_lifetime(topology, policy, windows,
+                                   head_cost=head_cost,
+                                   member_cost=member_cost,
+                                   capacity=capacity)
+        metrics[policy] = (result.first_death, result.half_life,
+                           100.0 * result.final_alive_fraction,
+                           result.head_changes)
+    return metrics
+
+
+def _build(preset, rng, options):
+    return [(options["nodes"], options["radius"], options["windows"],
+             options["head_cost"], options["member_cost"],
+             options["capacity"], run_rng)
+            for run_rng in spawn_rngs(rng, options["runs"])]
+
+
+def _reduce(preset, tasks, results, options):
+    runs = options["runs"]
+    table = Table(
+        title=(f"Network lifetime over {options['windows']} windows "
+               f"({options['nodes']} nodes, "
+               f"head cost {options['head_cost']}x member cost "
+               f"{options['member_cost']}, {runs} runs)"),
+        headers=["policy", "first death (window)", "half-life (window)",
+                 "alive at end %", "head changes"],
+    )
+    for policy in _POLICIES:
+        sums = [0.0, 0.0, 0.0, 0.0]
+        for metrics in results:
+            for index, value in enumerate(metrics[policy]):
+                sums[index] += value
+        table.add_row([policy] + [value / runs for value in sums])
+    return table
+
+
+ENERGY_SPEC = ExperimentSpec(name="energy_lifetime", build=_build,
+                             run=_run_one, reduce=_reduce)
 
 
 def run_energy_lifetime(nodes=200, radius=0.15, windows=120, runs=3,
                         head_cost=4.0, member_cost=1.0, capacity=100.0,
-                        rng=None):
+                        rng=None, jobs=1):
     """Lifetime metrics per policy; returns a Table."""
-    rng = as_rng(rng)
-    table = Table(
-        title=(f"Network lifetime over {windows} windows "
-               f"({nodes} nodes, head cost {head_cost}x member cost "
-               f"{member_cost}, {runs} runs)"),
-        headers=["policy", "first death (window)", "half-life (window)",
-                 "alive at end %", "head changes"],
-    )
-    accumulators = {policy: {"first": 0.0, "half": 0.0, "alive": 0.0,
-                             "changes": 0.0}
-                    for policy in ("static", "energy-aware")}
-    for run_rng in spawn_rngs(rng, runs):
-        topology = uniform_topology(nodes, radius, rng=run_rng)
-        for policy, acc in accumulators.items():
-            result = simulate_lifetime(topology, policy, windows,
-                                       head_cost=head_cost,
-                                       member_cost=member_cost,
-                                       capacity=capacity)
-            acc["first"] += result.first_death
-            acc["half"] += result.half_life
-            acc["alive"] += 100.0 * result.final_alive_fraction
-            acc["changes"] += result.head_changes
-    for policy, acc in accumulators.items():
-        table.add_row([policy, acc["first"] / runs, acc["half"] / runs,
-                       acc["alive"] / runs, acc["changes"] / runs])
-    return table
+    return run_experiment(ENERGY_SPEC, rng=rng, jobs=jobs, nodes=nodes,
+                          radius=radius, windows=windows, runs=runs,
+                          head_cost=head_cost, member_cost=member_cost,
+                          capacity=capacity)

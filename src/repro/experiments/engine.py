@@ -1,0 +1,122 @@
+"""Unified parallel experiment engine.
+
+Every experiment family in this package is a Monte-Carlo average over
+independent runs (the paper's Tables 2-5 average 1000 deployments each).
+:func:`run_experiment` factors that shape out: a family declares an
+:class:`ExperimentSpec` -- a *workload builder* that expands a preset into
+a flat list of per-run task descriptions, a *per-run function* that
+executes one task, and a *reducer* that folds the per-run results back
+into the family's table -- and the engine decides how the runs execute.
+
+``jobs=1`` executes the tasks serially in submission order, which is
+bit-for-bit identical to the historical hand-written loops: builders
+spawn per-run generators with the same :func:`repro.util.rng.spawn_rngs`
+calls, in the same order, the old loops used.  ``jobs>1`` fans the tasks
+out over a ``multiprocessing`` pool; because every task carries its own
+pre-spawned RNG and ``Pool.map`` preserves ordering, the reducer sees the
+exact same result sequence and the output is identical to the serial
+path regardless of worker count or scheduling.
+
+Requirements on spec components:
+
+* ``run`` must be a module-level function (workers pickle it by
+  qualified name) and tasks/results must be picklable;
+* ``build`` receives the *raw* ``rng`` argument (seed, generator or
+  ``None``) so families can reproduce their historical coercion order;
+* ``reduce`` runs in the parent and is free to build :class:`Table`\\ s.
+"""
+
+import os
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable
+
+from repro.experiments.common import get_preset
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment family, decomposed for the engine.
+
+    Attributes
+    ----------
+    name:
+        Family name (diagnostics only).
+    build:
+        ``build(preset, rng, options) -> list[task]`` -- expands the
+        workload into per-run tasks.  ``preset`` is a resolved
+        :class:`~repro.experiments.common.Preset` or ``None`` for
+        families without a preset; ``options`` is the dict of extra
+        keyword arguments passed to :func:`run_experiment`.
+    run:
+        ``run(task) -> result`` -- executes one independent run.  Must be
+        a picklable module-level function.
+    reduce:
+        ``reduce(preset, tasks, results, options) -> table`` -- folds the
+        ordered per-run results into the family's output.
+    """
+
+    name: str
+    build: Callable
+    run: Callable
+    reduce: Callable
+
+
+def resolve_jobs(jobs):
+    """Coerce a ``--jobs`` value into a positive worker count.
+
+    ``None``, ``0`` and ``"auto"`` mean "all available cores".
+    """
+    if jobs in (None, "auto"):
+        return os.cpu_count() or 1
+    try:
+        jobs = int(str(jobs))  # via str: rejects non-integral floats too
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"jobs must be a positive integer, 0 or 'auto', got {jobs!r}")
+    if jobs == 0:  # after the coercion, so the CLI/pytest string "0" works
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigurationError(
+            f"jobs must be a positive integer, 0 or 'auto', got {jobs!r}")
+    return jobs
+
+
+def map_runs(run, tasks, jobs=1, mp_context=None):
+    """Execute ``run`` over ``tasks``, preserving task order in the result.
+
+    ``jobs=1`` (or a single task) stays in-process with a plain loop;
+    otherwise a ``multiprocessing`` pool of ``min(jobs, len(tasks))``
+    workers is used.  ``mp_context`` selects the start method (``"fork"``,
+    ``"spawn"``, ...); the platform default is used when ``None``, and the
+    ``REPRO_MP_CONTEXT`` environment variable overrides that default.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        return [run(task) for task in tasks]
+    if mp_context is None:
+        mp_context = os.environ.get("REPRO_MP_CONTEXT") or None
+    context = get_context(mp_context)
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(run, tasks)
+
+
+def run_experiment(spec, preset=None, rng=None, jobs=1, mp_context=None,
+                   **options):
+    """Run one experiment family end to end.
+
+    Resolves ``preset`` (when the family uses one), expands the workload
+    with ``spec.build``, executes the per-run tasks serially or over a
+    worker pool, and reduces the ordered results.  For a fixed ``rng``
+    the output is identical for every ``jobs`` value.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        raise ConfigurationError(
+            f"spec must be an ExperimentSpec, got {type(spec).__name__}")
+    if preset is not None:
+        preset = get_preset(preset)
+    tasks = list(spec.build(preset, rng, options))
+    results = map_runs(spec.run, tasks, jobs=jobs, mp_context=mp_context)
+    return spec.reduce(preset, tasks, results, options)

@@ -8,12 +8,17 @@ at fixed R, reporting head counts for density and for the degree baseline
 (whose head count grows with n -- a dominating set scales with area /
 R², not down), plus measured-vs-predicted interior density values from
 the stochastic analysis.
+
+Deployments execute through the parallel experiment engine, one task per
+(intensity, run), with per-run generators spawned in the historical
+sequential order.
 """
 
 from repro.analysis.rgg import expected_degree, expected_density
 from repro.clustering.baselines.degree import degree_clustering
 from repro.clustering.density import all_densities
 from repro.experiments.common import clustered
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.graph.generators import poisson_topology
 from repro.metrics.tables import Table
 from repro.util.rng import as_rng, spawn_rngs
@@ -25,34 +30,59 @@ def interior_nodes(topology, margin):
             if margin <= x <= 1.0 - margin and margin <= y <= 1.0 - margin]
 
 
-def run_intensity_sweep(intensities=(300, 600, 1000, 1500), radius=0.1,
-                        runs=4, rng=None):
-    """Head counts and density statistics per intensity; returns a Table."""
-    rng = as_rng(rng)
+def _run_one(task):
+    """One deployment; returns (density heads, degree heads, interior mean).
+
+    ``None`` for an empty deployment; the interior mean is ``None`` when
+    no node sits clear of the borders.
+    """
+    intensity, radius, run_rng = task
+    topology = poisson_topology(intensity, radius, rng=run_rng)
+    if len(topology.graph) == 0:
+        return None
+    clustering, _ = clustered(topology, rng=run_rng, use_dag=True)
+    degree_count = degree_clustering(
+        topology.graph, tie_ids=topology.ids).cluster_count
+    densities = all_densities(topology.graph)
+    interior = interior_nodes(topology, margin=radius)
+    interior_mean = (sum(densities[n] for n in interior) / len(interior)
+                     if interior else None)
+    return clustering.cluster_count, degree_count, interior_mean
+
+
+def _build(preset, rng, options):
+    # One root generator consumed sequentially across intensities, exactly
+    # like the historical nested loop.
+    root = as_rng(rng)
+    return [(intensity, options["radius"], run_rng)
+            for intensity in options["intensities"]
+            for run_rng in spawn_rngs(root, options["runs"])]
+
+
+def _reduce(preset, tasks, results, options):
+    runs = options["runs"]
+    radius = options["radius"]
     table = Table(
         title=(f"Intensity sweep at R={radius} ({runs} runs): head count "
                "should fall with lambda for density, not for degree"),
         headers=["lambda", "mean degree (pred)", "density heads",
                  "degree heads", "interior density", "predicted density"],
     )
-    for intensity in intensities:
+    result_iter = iter(results)
+    for intensity in options["intensities"]:
         density_heads = 0.0
         degree_heads = 0.0
         measured_density = 0.0
         samples = 0
-        for run_rng in spawn_rngs(rng, runs):
-            topology = poisson_topology(intensity, radius, rng=run_rng)
-            if len(topology.graph) == 0:
+        for _ in range(runs):
+            outcome = next(result_iter)
+            if outcome is None:
                 continue
-            clustering, _ = clustered(topology, rng=run_rng, use_dag=True)
-            density_heads += clustering.cluster_count
-            degree_heads += degree_clustering(
-                topology.graph, tie_ids=topology.ids).cluster_count
-            densities = all_densities(topology.graph)
-            interior = interior_nodes(topology, margin=radius)
-            if interior:
-                measured_density += sum(densities[n] for n in interior) \
-                    / len(interior)
+            density_count, degree_count, interior_mean = outcome
+            density_heads += density_count
+            degree_heads += degree_count
+            if interior_mean is not None:
+                measured_density += interior_mean
                 samples += 1
         table.add_row([
             intensity,
@@ -63,3 +93,15 @@ def run_intensity_sweep(intensities=(300, 600, 1000, 1500), radius=0.1,
             expected_density(intensity, radius),
         ])
     return table
+
+
+INTENSITY_SPEC = ExperimentSpec(name="intensity_sweep", build=_build,
+                                run=_run_one, reduce=_reduce)
+
+
+def run_intensity_sweep(intensities=(300, 600, 1000, 1500), radius=0.1,
+                        runs=4, rng=None, jobs=1):
+    """Head counts and density statistics per intensity; returns a Table."""
+    return run_experiment(INTENSITY_SPEC, rng=rng, jobs=jobs,
+                          intensities=tuple(intensities), radius=radius,
+                          runs=runs)

@@ -18,6 +18,7 @@ when movement creates conflicts, as a real deployment would.
 from dataclasses import dataclass
 
 from repro.experiments.common import clustered, get_preset
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.naming.assign import assign_dag_ids
 from repro.experiments.paper_values import MOBILITY, SQUARE_SIDE_METERS
 from repro.metrics.stability import RetentionSeries
@@ -98,10 +99,22 @@ def run_mobility_trace(regime, preset, radius=0.1, rng=None,
     )
 
 
-def run_mobility_experiment(preset="quick", radius=0.1, rng=None, runs=None):
-    """Full experiment: both regimes, averaged over traces; returns a Table."""
-    preset = get_preset(preset)
-    runs = runs if runs is not None else max(1, preset.runs // 4)
+def _run_one(task):
+    regime, preset, radius, run_rng = task
+    return run_mobility_trace(regime, preset, radius=radius, rng=run_rng)
+
+
+def _build(preset, rng, options):
+    # spawn_rngs is called once per regime with the caller's raw argument,
+    # matching the historical loop (an integer seed gives both regimes the
+    # same trace seeds, keeping the regime comparison paired).
+    return [(regime, preset, options["radius"], run_rng)
+            for regime in SPEED_REGIMES
+            for run_rng in spawn_rngs(rng, options["runs"])]
+
+
+def _reduce(preset, tasks, results, options):
+    runs = options["runs"]
     table = Table(
         title=(f"Mobility stability: % heads retained per "
                f"{preset.mobility_window:.0f}s window "
@@ -111,11 +124,11 @@ def run_mobility_experiment(preset="quick", radius=0.1, rng=None, runs=None):
         headers=["regime", "improved %", "improved paper", "basic %",
                  "basic paper"],
     )
+    result_iter = iter(results)
     for regime in SPEED_REGIMES:
         totals = {name: 0.0 for name in CONFIGURATIONS}
-        for run_rng in spawn_rngs(rng, runs):
-            outcome = run_mobility_trace(regime, preset, radius=radius,
-                                         rng=run_rng)
+        for _ in range(runs):
+            outcome = next(result_iter)
             for name in totals:
                 totals[name] += outcome.retention_percent[name]
         table.add_row([
@@ -124,3 +137,16 @@ def run_mobility_experiment(preset="quick", radius=0.1, rng=None, runs=None):
             totals["basic"] / runs, f"({MOBILITY[regime]['basic']})",
         ])
     return table
+
+
+MOBILITY_SPEC = ExperimentSpec(name="mobility", build=_build, run=_run_one,
+                               reduce=_reduce)
+
+
+def run_mobility_experiment(preset="quick", radius=0.1, rng=None, runs=None,
+                            jobs=1):
+    """Full experiment: both regimes, averaged over traces; returns a Table."""
+    preset = get_preset(preset)
+    runs = runs if runs is not None else max(1, preset.runs // 4)
+    return run_experiment(MOBILITY_SPEC, preset, rng=rng, jobs=jobs,
+                          radius=radius, runs=runs)

@@ -11,12 +11,16 @@ the nodes' tables updated":
   the wire-level model, per configuration (the fusion summary is the
   expensive payload; this quantifies what the 3-hop head separation
   costs in steady state).
+
+Both run through the parallel experiment engine: churn fans out one task
+per mobility trace, beacon cost one task per protocol configuration.
 """
 
 from repro.clustering.baselines.degree import degree_clustering
 from repro.clustering.baselines.lowest_id import lowest_id_clustering
 from repro.clustering.baselines.maxmin import maxmin_clustering
 from repro.experiments.common import clustered, get_preset
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.mobility import SPEED_REGIMES, speed_range_in_sides
 from repro.graph.generators import uniform_topology
 from repro.metrics.overhead import reaffiliations
@@ -25,7 +29,7 @@ from repro.mobility.random_direction import RandomDirectionModel
 from repro.mobility.trace import topology_at
 from repro.protocols.stack import standard_stack
 from repro.runtime.simulator import StepSimulator
-from repro.util.rng import as_rng, spawn_rngs
+from repro.util.rng import spawn_rngs
 
 _METRICS = {
     "density": lambda topo: clustered(topo, use_dag=False)[0],
@@ -37,32 +41,42 @@ _METRICS = {
 }
 
 
-def run_reaffiliation_churn(preset="quick", regime="pedestrian", radius=0.1,
-                            rng=None, runs=2):
-    """Mean re-affiliations per window per 100 nodes, per metric."""
-    preset = get_preset(preset)
-    rng = as_rng(rng)
-    speed_range = speed_range_in_sides(SPEED_REGIMES[regime])
-    windows = int(round(preset.mobility_duration / preset.mobility_window))
+# ----------------------------------------------------------------------
+# Re-affiliation churn
+# ----------------------------------------------------------------------
+
+def _run_churn_trace(task):
+    """One mobility trace; returns total re-affiliations per metric."""
+    nodes, speed_range, radius, windows, mobility_window, run_rng = task
+    model = RandomDirectionModel(nodes, speed_range, rng=run_rng)
     totals = {name: 0.0 for name in _METRICS}
-    observed = 0
-    for run_rng in spawn_rngs(rng, runs):
-        model = RandomDirectionModel(preset.mobility_nodes, speed_range,
-                                     rng=run_rng)
-        previous = {name: None for name in _METRICS}
-        for _ in range(windows + 1):
-            topology = topology_at(model.positions, radius)
-            for name, build in _METRICS.items():
-                clustering = build(topology)
-                if previous[name] is not None:
-                    totals[name] += reaffiliations(previous[name],
-                                                   clustering)
-                previous[name] = clustering
-            observed += 1
-            model.advance(preset.mobility_window)
-    window_count = runs * windows
+    previous = {name: None for name in _METRICS}
+    for _ in range(windows + 1):
+        topology = topology_at(model.positions, radius)
+        for name, build in _METRICS.items():
+            clustering = build(topology)
+            if previous[name] is not None:
+                totals[name] += reaffiliations(previous[name], clustering)
+            previous[name] = clustering
+        model.advance(mobility_window)
+    return totals
+
+
+def _build_churn(preset, rng, options):
+    speed_range = speed_range_in_sides(SPEED_REGIMES[options["regime"]])
+    windows = int(round(preset.mobility_duration / preset.mobility_window))
+    return [(preset.mobility_nodes, speed_range, options["radius"], windows,
+             preset.mobility_window, run_rng)
+            for run_rng in spawn_rngs(rng, options["runs"])]
+
+
+def _reduce_churn(preset, tasks, results, options):
+    totals = {name: sum(trace[name] for trace in results)
+              for name in _METRICS}
+    windows = int(round(preset.mobility_duration / preset.mobility_window))
+    window_count = options["runs"] * windows
     table = Table(
-        title=(f"Re-affiliation churn under {regime} mobility "
+        title=(f"Re-affiliation churn under {options['regime']} mobility "
                f"({preset.mobility_nodes} nodes, per window per 100 nodes)"),
         headers=["metric", "re-affiliations / window / 100 nodes"],
     )
@@ -72,26 +86,68 @@ def run_reaffiliation_churn(preset="quick", regime="pedestrian", radius=0.1,
     return table
 
 
-def run_beacon_cost(nodes=150, radius=0.15, steps=30, rng=None):
-    """Steady-state broadcast bytes per node per step, per configuration."""
-    rng = as_rng(rng)
-    configurations = {
-        "no DAG, basic": {"use_dag": False},
-        "DAG, basic": {"use_dag": True},
-        "DAG, fusion": {"use_dag": True, "fusion": True},
-    }
+REAFFILIATION_SPEC = ExperimentSpec(name="reaffiliation_churn",
+                                    build=_build_churn,
+                                    run=_run_churn_trace,
+                                    reduce=_reduce_churn)
+
+
+def run_reaffiliation_churn(preset="quick", regime="pedestrian", radius=0.1,
+                            rng=None, runs=2, jobs=1):
+    """Mean re-affiliations per window per 100 nodes, per metric."""
+    return run_experiment(REAFFILIATION_SPEC, get_preset(preset), rng=rng,
+                          jobs=jobs, regime=regime, radius=radius, runs=runs)
+
+
+# ----------------------------------------------------------------------
+# Beacon cost
+# ----------------------------------------------------------------------
+
+_BEACON_CONFIGURATIONS = {
+    "no DAG, basic": {"use_dag": False},
+    "DAG, basic": {"use_dag": True},
+    "DAG, fusion": {"use_dag": True, "fusion": True},
+}
+
+
+def _run_beacon(task):
+    """Steady-state bytes per node per step for one configuration."""
+    name, stack_options, nodes, radius, steps, run_rng = task
+    topology = uniform_topology(nodes, radius, rng=42)
+    sim = StepSimulator(topology, standard_stack(topology=topology,
+                                                 **stack_options),
+                        rng=run_rng)
+    sim.run(10)  # converge first: steady-state payloads are the point
+    sim.traffic = type(sim.traffic)()
+    sim.run(steps)
+    return sim.traffic.mean_bytes_per_step() / len(topology.graph)
+
+
+def _build_beacon(preset, rng, options):
+    run_rngs = spawn_rngs(rng, len(_BEACON_CONFIGURATIONS))
+    return [(name, stack_options, options["nodes"], options["radius"],
+             options["steps"], run_rng)
+            for (name, stack_options), run_rng
+            in zip(_BEACON_CONFIGURATIONS.items(), run_rngs)]
+
+
+def _reduce_beacon(preset, tasks, results, options):
     table = Table(
-        title=(f"Beacon cost ({nodes} nodes, R={radius}, steady state over "
-               f"{steps} steps)"),
+        title=(f"Beacon cost ({options['nodes']} nodes, "
+               f"R={options['radius']}, steady state over "
+               f"{options['steps']} steps)"),
         headers=["configuration", "bytes / node / step"],
     )
-    for name, options in configurations.items():
-        topology = uniform_topology(nodes, radius, rng=42)
-        sim = StepSimulator(topology, standard_stack(topology=topology,
-                                                     **options), rng=rng)
-        sim.run(10)  # converge first: steady-state payloads are the point
-        sim.traffic = type(sim.traffic)()
-        sim.run(steps)
-        table.add_row([name,
-                       sim.traffic.mean_bytes_per_step() / len(topology.graph)])
+    for task, cost in zip(tasks, results):
+        table.add_row([task[0], cost])
     return table
+
+
+BEACON_SPEC = ExperimentSpec(name="beacon_cost", build=_build_beacon,
+                             run=_run_beacon, reduce=_reduce_beacon)
+
+
+def run_beacon_cost(nodes=150, radius=0.15, steps=30, rng=None, jobs=1):
+    """Steady-state broadcast bytes per node per step, per configuration."""
+    return run_experiment(BEACON_SPEC, rng=rng, jobs=jobs, nodes=nodes,
+                          radius=radius, steps=steps)

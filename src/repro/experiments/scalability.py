@@ -5,16 +5,20 @@ hierarchical routing; this experiment quantifies it on the reproduced
 stack.  For growing deployments it reports the mean per-node routing
 state under flat routing (``n - 1``) and under the cluster hierarchy, and
 the path-stretch price paid for the savings.
+
+Deployment sizes execute through the parallel experiment engine, one
+task per size with its own pre-spawned generator.
 """
 
 import numpy as np
 
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.graph.generators import uniform_topology
 from repro.graph.paths import connected_components
 from repro.hierarchy.hierarchy import build_hierarchy
 from repro.hierarchy.routing import route_stretch
 from repro.metrics.tables import Table
-from repro.util.rng import as_rng, spawn_rngs
+from repro.util.rng import spawn_rngs
 
 
 def _largest_component_topology(topology):
@@ -31,32 +35,52 @@ def _largest_component_topology(topology):
                     radius=topology.radius)
 
 
-def run_scalability(sizes=(200, 400, 800), radius=0.12, pairs=40, rng=None):
-    """Routing state and stretch per deployment size; returns a Table."""
-    rng = as_rng(rng)
+def _run_one(task):
+    """One deployment size; returns its full table row."""
+    size, radius, pairs, run_rng = task
+    topology = _largest_component_topology(
+        uniform_topology(size, radius, rng=run_rng))
+    hierarchy = build_hierarchy(topology, rng=run_rng)
+    nodes = topology.graph.nodes
+    flat_state = len(nodes) - 1
+    hier_state = float(np.mean([hierarchy.routing_state(n) for n in nodes]))
+    stretches = []
+    node_array = list(nodes)
+    for _ in range(pairs):
+        a, b = run_rng.choice(len(node_array), 2, replace=False)
+        _, _, stretch = route_stretch(hierarchy, node_array[int(a)],
+                                      node_array[int(b)])
+        stretches.append(stretch)
+    return [len(nodes), flat_state, hier_state,
+            flat_state / max(hier_state, 1e-9),
+            hierarchy.depth,
+            float(np.mean(stretches))]
+
+
+def _build(preset, rng, options):
+    sizes = options["sizes"]
+    return [(size, options["radius"], options["pairs"], run_rng)
+            for size, run_rng in zip(sizes, spawn_rngs(rng, len(sizes)))]
+
+
+def _reduce(preset, tasks, results, options):
     table = Table(
         title=("Scalability: per-node routing state, flat vs hierarchical "
-               f"(R={radius}, {pairs} sampled pairs)"),
+               f"(R={options['radius']}, {options['pairs']} sampled pairs)"),
         headers=["nodes", "flat state", "hier state", "savings x",
                  "levels", "mean stretch"],
     )
-    for size, run_rng in zip(sizes, spawn_rngs(rng, len(sizes))):
-        topology = _largest_component_topology(
-            uniform_topology(size, radius, rng=run_rng))
-        hierarchy = build_hierarchy(topology, rng=run_rng)
-        nodes = topology.graph.nodes
-        flat_state = len(nodes) - 1
-        hier_state = float(np.mean([hierarchy.routing_state(n)
-                                    for n in nodes]))
-        stretches = []
-        node_array = list(nodes)
-        for _ in range(pairs):
-            a, b = run_rng.choice(len(node_array), 2, replace=False)
-            _, _, stretch = route_stretch(hierarchy, node_array[int(a)],
-                                          node_array[int(b)])
-            stretches.append(stretch)
-        table.add_row([len(nodes), flat_state, hier_state,
-                       flat_state / max(hier_state, 1e-9),
-                       hierarchy.depth,
-                       float(np.mean(stretches))])
+    for row in results:
+        table.add_row(row)
     return table
+
+
+SCALABILITY_SPEC = ExperimentSpec(name="scalability", build=_build,
+                                  run=_run_one, reduce=_reduce)
+
+
+def run_scalability(sizes=(200, 400, 800), radius=0.12, pairs=40, rng=None,
+                    jobs=1):
+    """Routing state and stretch per deployment size; returns a Table."""
+    return run_experiment(SCALABILITY_SPEC, rng=rng, jobs=jobs,
+                          sizes=tuple(sizes), radius=radius, pairs=pairs)

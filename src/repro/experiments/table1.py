@@ -1,36 +1,58 @@
 """Table 1: densities on the illustrative Figure 1 example.
 
 Deterministic: the reconstruction of the example topology must reproduce
-the paper's neighbor counts, link counts and densities exactly.
+the paper's neighbor counts, link counts and densities exactly.  It still
+runs through the experiment engine -- as a single task -- so every paper
+table shares one execution path.
 """
 
 from fractions import Fraction
 
 from repro.clustering.density import all_densities, edges_among
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.paper_values import TABLE1
 from repro.graph.generators import figure1_topology
 from repro.metrics.tables import Table
 
 
-def run_table1():
-    """Recompute Table 1; returns (table, exact_match: bool)."""
+def _build(preset, rng, options):
+    return [None]
+
+
+def _run_one(task):
+    """Measure every Table 1 row on the reconstructed example."""
     topology = figure1_topology()
     graph = topology.graph
     densities = all_densities(graph, exact=True)
+    rows = []
+    for node in sorted(graph.nodes):
+        neighbors = graph.neighbors(node)
+        links = len(neighbors) + edges_among(graph, neighbors)
+        rows.append((node, len(neighbors), links, float(densities[node])))
+    return rows
+
+
+def _reduce(preset, tasks, results, options):
     table = Table(
         title="Table 1: densities on the Figure 1 example (paper in parens)",
         headers=["node", "#neighbors", "#links", "density", "paper"],
     )
     exact = True
-    for node in sorted(graph.nodes):
-        neighbors = graph.neighbors(node)
-        links = len(neighbors) + edges_among(graph, neighbors)
+    for node, neighbors, links, density in results[0]:
         expected = TABLE1[node]
-        measured = (len(neighbors), links, float(densities[node]))
-        exact = exact and measured == expected
-        table.add_row([node, len(neighbors), links, float(densities[node]),
+        exact = exact and (neighbors, links, density) == expected
+        table.add_row([node, neighbors, links, density,
                        f"({expected[0]}, {expected[1]}, {expected[2]})"])
     return table, exact
+
+
+TABLE1_SPEC = ExperimentSpec(name="table1", build=_build, run=_run_one,
+                             reduce=_reduce)
+
+
+def run_table1(jobs=1):
+    """Recompute Table 1; returns (table, exact_match: bool)."""
+    return run_experiment(TABLE1_SPEC, jobs=jobs)
 
 
 def figure1_expected_densities():

@@ -4,13 +4,20 @@ For each transmission range R and both deployments (grid, random
 geometry), run the Section 5 renaming -- each node draws a DAG identifier
 in ``[0, δ²)``, conflicting neighbors with the smallest normal identifier
 re-draw -- and report the mean number of steps to local uniqueness.
+
+Runs execute through the parallel experiment engine; each task carries
+its own pre-spawned generator, in the historical spawn order, so results
+are identical for every ``jobs`` value.
 """
 
 from repro.experiments.common import build_topology, get_preset, per_run_rngs
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.paper_values import TABLE3, TABLE3_RADII
 from repro.metrics.tables import Table
 from repro.naming.namespace import NameSpace, recommended_size
 from repro.naming.renaming import PoliteRenaming
+
+_KINDS = ("grid", "random")
 
 
 def dag_build_rounds(topology, rng):
@@ -22,30 +29,46 @@ def dag_build_rounds(topology, rng):
     return result.rounds
 
 
-def run_table3(preset="quick", radii=TABLE3_RADII, rng=None):
-    """Mean DAG-construction steps per (deployment, R); returns a Table."""
-    preset = get_preset(preset)
+def _build(preset, rng, options):
+    radii = options["radii"]
+    rng_iter = iter(per_run_rngs(rng, preset.runs * len(radii) * 2))
+    return [(kind, preset.intensity, radius, next(rng_iter))
+            for radius in radii
+            for kind in _KINDS
+            for _ in range(preset.runs)]
+
+
+def _run_one(task):
+    kind, intensity, radius, run_rng = task
+    topology = build_topology(kind, intensity, radius, run_rng)
+    return dag_build_rounds(topology, run_rng)
+
+
+def _reduce(preset, tasks, results, options):
+    radii = options["radii"]
     table = Table(
         title=(f"Table 3: steps to build the DAG "
                f"(lambda={preset.intensity}, {preset.runs} runs; "
                "paper in parens)"),
         headers=["R", "grid", "grid paper", "random", "random paper"],
     )
-    rngs = per_run_rngs(rng, preset.runs * len(radii) * 2)
-    rng_iter = iter(rngs)
+    result_iter = iter(results)
     for radius in radii:
-        means = {}
-        for kind in ("grid", "random"):
-            total = 0.0
-            for _ in range(preset.runs):
-                run_rng = next(rng_iter)
-                topology = build_topology(kind, preset.intensity, radius,
-                                          run_rng)
-                total += dag_build_rounds(topology, run_rng)
-            means[kind] = total / preset.runs
+        means = {kind: sum(next(result_iter) for _ in range(preset.runs))
+                 / preset.runs for kind in _KINDS}
         table.add_row([
             radius,
             means["grid"], f"({TABLE3['grid'].get(radius, '-')})",
             means["random"], f"({TABLE3['random'].get(radius, '-')})",
         ])
     return table
+
+
+TABLE3_SPEC = ExperimentSpec(name="table3", build=_build, run=_run_one,
+                             reduce=_reduce)
+
+
+def run_table3(preset="quick", radii=TABLE3_RADII, rng=None, jobs=1):
+    """Mean DAG-construction steps per (deployment, R); returns a Table."""
+    return run_experiment(TABLE3_SPEC, get_preset(preset), rng=rng,
+                          jobs=jobs, radii=radii)

@@ -6,6 +6,10 @@ the number of clusters, the mean cluster-head eccentricity and the mean
 joining-tree length.  The paper's finding: on homogeneous random
 deployments the DAG changes nothing measurable, because identifier
 tie-breaks are almost never exercised.
+
+Runs execute through the parallel experiment engine; RNGs are spawned in
+the historical order (one child per table cell, one grandchild per run),
+so results are identical for every ``jobs`` value.
 """
 
 from repro.experiments.common import (
@@ -14,25 +18,32 @@ from repro.experiments.common import (
     get_preset,
     per_run_rngs,
 )
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.paper_values import TABLE4, TABLE4_RADII
 from repro.metrics.clusters import cluster_stats, mean_stats
 from repro.metrics.tables import Table
 
-
-def clustering_statistics(kind, preset, radius, rng, use_dag):
-    """Mean :class:`ClusterStats` over ``preset.runs`` deployments."""
-    stats = []
-    for run_rng in per_run_rngs(rng, preset.runs):
-        topology = build_topology(kind, preset.intensity, radius, run_rng)
-        clustering, _dag_ids = clustered(topology, rng=run_rng,
-                                         use_dag=use_dag)
-        stats.append(cluster_stats(clustering))
-    return mean_stats(stats)
+_CONFIGURATIONS = ((True, "with"), (False, "no"))
 
 
-def run_table4(preset="quick", radii=TABLE4_RADII, rng=None):
-    """Regenerate Table 4; returns a Table."""
-    preset = get_preset(preset)
+def _run_one(task):
+    kind, intensity, radius, use_dag, run_rng = task
+    topology = build_topology(kind, intensity, radius, run_rng)
+    clustering, _dag_ids = clustered(topology, rng=run_rng, use_dag=use_dag)
+    return cluster_stats(clustering)
+
+
+def _build(preset, rng, options):
+    radii = options["radii"]
+    cell_rngs = iter(per_run_rngs(rng, 2 * len(radii)))
+    return [("random", preset.intensity, radius, use_dag, run_rng)
+            for radius in radii
+            for use_dag, _label in _CONFIGURATIONS
+            for run_rng in per_run_rngs(next(cell_rngs), preset.runs)]
+
+
+def _reduce(preset, tasks, results, options):
+    radii = options["radii"]
     table = Table(
         title=(f"Table 4: clusters on random geometric graphs "
                f"(lambda={preset.intensity}, {preset.runs} runs; "
@@ -40,15 +51,24 @@ def run_table4(preset="quick", radii=TABLE4_RADII, rng=None):
         headers=["R", "DAG", "#clusters", "eccentricity", "tree length",
                  "paper (#, ecc, tree)"],
     )
-    rngs = per_run_rngs(rng, 2 * len(radii))
-    rng_iter = iter(rngs)
+    result_iter = iter(results)
     for radius in radii:
-        for use_dag, label in ((True, "with"), (False, "no")):
-            stats = clustering_statistics("random", preset, radius,
-                                          next(rng_iter), use_dag)
+        for use_dag, label in _CONFIGURATIONS:
+            stats = mean_stats([next(result_iter)
+                                for _ in range(preset.runs)])
             reference = TABLE4.get(radius, {}).get(
                 "with" if use_dag else "without", "-")
             table.add_row([radius, label, stats.cluster_count,
                            stats.mean_head_eccentricity,
                            stats.mean_tree_length, f"({reference})"])
     return table
+
+
+TABLE4_SPEC = ExperimentSpec(name="table4", build=_build, run=_run_one,
+                             reduce=_reduce)
+
+
+def run_table4(preset="quick", radii=TABLE4_RADII, rng=None, jobs=1):
+    """Regenerate Table 4; returns a Table."""
+    return run_experiment(TABLE4_SPEC, get_preset(preset), rng=rng,
+                          jobs=jobs, radii=radii)

@@ -6,34 +6,46 @@ identifier is the only tie-break and -- without the DAG -- every node
 ultimately joins a single cluster whose joining tree spans the network
 (Figure 2).  With locally unique random DAG names the tie-breaks decouple
 and many small clusters emerge (Figure 3).
+
+Runs execute through the parallel experiment engine with the historical
+RNG spawn order, so results are identical for every ``jobs`` value.
 """
 
 from repro.experiments.common import build_topology, clustered, get_preset, \
     per_run_rngs
+from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.paper_values import TABLE4_RADII, TABLE5
 from repro.metrics.clusters import cluster_stats, mean_stats
 from repro.metrics.tables import Table
 
-
-def grid_statistics(preset, radius, rng, use_dag):
-    """Mean :class:`ClusterStats` over grid runs.
-
-    The grid itself is deterministic; runs differ only in DAG name draws,
-    so the no-DAG case needs a single run.
-    """
-    runs = preset.runs if use_dag else 1
-    stats = []
-    for run_rng in per_run_rngs(rng, runs):
-        topology = build_topology("grid", preset.intensity, radius, run_rng)
-        clustering, _dag_ids = clustered(topology, rng=run_rng,
-                                         use_dag=use_dag)
-        stats.append(cluster_stats(clustering))
-    return mean_stats(stats)
+_CONFIGURATIONS = ((True, "with"), (False, "no"))
 
 
-def run_table5(preset="quick", radii=TABLE4_RADII, rng=None):
-    """Regenerate Table 5; returns a Table."""
-    preset = get_preset(preset)
+def _cell_runs(preset, use_dag):
+    # The grid itself is deterministic; runs differ only in DAG name
+    # draws, so the no-DAG case needs a single run.
+    return preset.runs if use_dag else 1
+
+
+def _run_one(task):
+    intensity, radius, use_dag, run_rng = task
+    topology = build_topology("grid", intensity, radius, run_rng)
+    clustering, _dag_ids = clustered(topology, rng=run_rng, use_dag=use_dag)
+    return cluster_stats(clustering)
+
+
+def _build(preset, rng, options):
+    radii = options["radii"]
+    cell_rngs = iter(per_run_rngs(rng, 2 * len(radii)))
+    return [(preset.intensity, radius, use_dag, run_rng)
+            for radius in radii
+            for use_dag, _label in _CONFIGURATIONS
+            for run_rng in per_run_rngs(next(cell_rngs),
+                                        _cell_runs(preset, use_dag))]
+
+
+def _reduce(preset, tasks, results, options):
+    radii = options["radii"]
     table = Table(
         title=(f"Table 5: clusters on the grid with sequential ids "
                f"(~{preset.intensity} nodes, {preset.runs} runs; "
@@ -41,14 +53,24 @@ def run_table5(preset="quick", radii=TABLE4_RADII, rng=None):
         headers=["R", "DAG", "#clusters", "eccentricity", "tree length",
                  "paper (#, ecc, tree)"],
     )
-    rngs = per_run_rngs(rng, 2 * len(radii))
-    rng_iter = iter(rngs)
+    result_iter = iter(results)
     for radius in radii:
-        for use_dag, label in ((True, "with"), (False, "no")):
-            stats = grid_statistics(preset, radius, next(rng_iter), use_dag)
+        for use_dag, label in _CONFIGURATIONS:
+            stats = mean_stats([next(result_iter)
+                                for _ in range(_cell_runs(preset, use_dag))])
             reference = TABLE5.get(radius, {}).get(
                 "with" if use_dag else "without", "-")
             table.add_row([radius, label, stats.cluster_count,
                            stats.mean_head_eccentricity,
                            stats.mean_tree_length, f"({reference})"])
     return table
+
+
+TABLE5_SPEC = ExperimentSpec(name="table5", build=_build, run=_run_one,
+                             reduce=_reduce)
+
+
+def run_table5(preset="quick", radii=TABLE4_RADII, rng=None, jobs=1):
+    """Regenerate Table 5; returns a Table."""
+    return run_experiment(TABLE5_SPEC, get_preset(preset), rng=rng,
+                          jobs=jobs, radii=radii)

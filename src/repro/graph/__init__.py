@@ -12,7 +12,11 @@ from repro.graph.generators import (
     star_topology,
     uniform_topology,
 )
-from repro.graph.geometry import pairwise_within_range, unit_disk_graph
+from repro.graph.geometry import (
+    pairs_within_range,
+    pairwise_within_range,
+    unit_disk_graph,
+)
 from repro.graph.graph import Graph
 from repro.graph.quasi_udg import quasi_uniform_topology, quasi_unit_disk_graph
 from repro.graph.paths import (
@@ -39,6 +43,7 @@ __all__ = [
     "hop_distance",
     "is_connected",
     "line_topology",
+    "pairs_within_range",
     "pairwise_within_range",
     "poisson_topology",
     "quasi_uniform_topology",

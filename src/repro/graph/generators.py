@@ -122,9 +122,11 @@ def square_grid_topology(approx_count, radius, side=1.0):
     """
     if approx_count < 1:
         raise ConfigurationError("approx_count must be >= 1")
-    rows = int(round(math.sqrt(approx_count)))
-    rows = max(rows, 1)
-    cols = max(int(round(approx_count / rows)), 1)
+    rows = max(int(round(math.sqrt(approx_count))), 1)
+    # The floor on cols guards the rounding: a request for >= 2 nodes
+    # must never collapse to a single-node grid.
+    min_cols = 2 if approx_count >= 2 and rows == 1 else 1
+    cols = max(int(round(approx_count / rows)), min_cols)
     return grid_topology(rows, cols, radius, side=side)
 
 

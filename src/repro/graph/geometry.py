@@ -4,7 +4,11 @@ The paper deploys nodes in a ``1 x 1`` square with transmission range ``R``
 between 0.05 and 0.1; two nodes are linked iff their Euclidean distance is
 at most ``R``.  Building that unit-disk graph naively is ``O(n^2)``; for the
 1000-node workloads of Tables 3-5 we bin points into a cell grid of side
-``R`` so only the 9 surrounding cells are scanned per node.
+``R`` so only the 9 surrounding cells are scanned per node -- and the scan
+itself is vectorized: points are sorted by cell key, each of the five
+non-redundant neighbor-cell offsets becomes one bulk ``searchsorted`` join,
+and candidate distances are evaluated with a single broadcasted NumPy
+expression instead of Python-level loops over cell members.
 """
 
 import numpy as np
@@ -12,12 +16,20 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.util.errors import ConfigurationError
 
+# Offsets covering each unordered cell pair exactly once: the cell itself
+# plus half of its 8-neighborhood (the other half is reached from the
+# opposite cell).
+_CELL_OFFSETS = ((0, 0), (1, -1), (1, 0), (1, 1), (0, 1))
 
-def pairwise_within_range(positions, radius):
-    """Yield index pairs ``(i, j)``, ``i < j``, with distance <= ``radius``.
 
-    ``positions`` is an ``(n, 2)`` array.  Uses cell binning: correctness is
-    independent of the binning, which tests verify against brute force.
+def pairs_within_range(positions, radius):
+    """All index pairs at distance <= ``radius``, as an ``(m, 2)`` array.
+
+    ``positions`` is an ``(n, 2)`` array.  Each returned row ``(i, j)``
+    satisfies ``i < j``; rows are lexicographically sorted, so the output
+    is a deterministic function of the input alone.  Uses vectorized cell
+    binning: correctness is independent of the binning, which tests
+    verify against brute force.
     """
     positions = np.asarray(positions, dtype=float)
     if positions.ndim != 2 or positions.shape[1] != 2:
@@ -25,34 +37,65 @@ def pairwise_within_range(positions, radius):
     if radius <= 0:
         raise ConfigurationError(f"radius must be positive, got {radius}")
     n = len(positions)
-    cells = {}
-    cell_of = np.floor(positions / radius).astype(np.int64)
-    for i in range(n):
-        cells.setdefault((cell_of[i, 0], cell_of[i, 1]), []).append(i)
+    if n < 2:
+        return np.empty((0, 2), dtype=np.int64)
+
+    # One integer key per cell; stride leaves room for the dy = -1..1 of
+    # the neighbor offsets so distinct cells never share a key.
+    cell = np.floor(positions / radius).astype(np.int64)
+    cell -= cell.min(axis=0)
+    stride = np.int64(cell[:, 1].max()) + 3
+    if int(cell[:, 0].max() + 1) * int(stride) >= 2 ** 62:
+        # Fail loudly instead of wrapping int64 keys (coordinate span
+        # around 2^31 times the radius -- far beyond any real workload).
+        raise ConfigurationError(
+            "coordinate span too large relative to radius for cell binning")
+    key = cell[:, 0] * stride + cell[:, 1]
+
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    sorted_pos = positions[order]
     r2 = radius * radius
-    for (cx, cy), members in cells.items():
-        # Within-cell pairs.
-        for a in range(len(members)):
-            i = members[a]
-            for b in range(a + 1, len(members)):
-                j = members[b]
-                if _dist2(positions, i, j) <= r2:
-                    yield (i, j) if i < j else (j, i)
-        # Pairs with half of the surrounding cells (each cell pair once).
-        for dx, dy in ((1, -1), (1, 0), (1, 1), (0, 1)):
-            other = cells.get((cx + dx, cy + dy))
-            if not other:
-                continue
-            for i in members:
-                for j in other:
-                    if _dist2(positions, i, j) <= r2:
-                        yield (i, j) if i < j else (j, i)
+    indices = np.arange(n)
+
+    chunks = []
+    for dx, dy in _CELL_OFFSETS:
+        target = sorted_key + (dx * stride + dy)
+        if dx == 0 and dy == 0:
+            # Within-cell pairs: for each point, only the later points of
+            # its own (contiguous) cell block.
+            lo = indices + 1
+        else:
+            lo = np.searchsorted(sorted_key, target, side="left")
+        hi = np.searchsorted(sorted_key, target, side="right")
+        counts = np.maximum(hi - lo, 0)
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        left = np.repeat(indices, counts)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        right = np.arange(total) - np.repeat(starts, counts) \
+            + np.repeat(lo, counts)
+        diff = sorted_pos[left] - sorted_pos[right]
+        close = np.einsum("ij,ij->i", diff, diff) <= r2
+        a = order[left[close]]
+        b = order[right[close]]
+        chunks.append(np.column_stack((np.minimum(a, b), np.maximum(a, b))))
+
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.concatenate(chunks)
+    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
 
 
-def _dist2(positions, i, j):
-    dx = positions[i, 0] - positions[j, 0]
-    dy = positions[i, 1] - positions[j, 1]
-    return dx * dx + dy * dy
+def pairwise_within_range(positions, radius):
+    """Index pairs ``(i, j)``, ``i < j``, with distance <= ``radius``.
+
+    Tuple-yielding view of :func:`pairs_within_range`, kept for callers
+    that consume Python pairs; bulk consumers should use the array
+    directly.
+    """
+    return [(i, j) for i, j in pairs_within_range(positions, radius).tolist()]
 
 
 def unit_disk_graph(positions, radius, node_ids=None):
@@ -72,7 +115,7 @@ def unit_disk_graph(positions, radius, node_ids=None):
     if len(set(node_ids)) != n:
         raise ConfigurationError("node identifiers must be unique")
     graph = Graph(nodes=node_ids)
-    for i, j in pairwise_within_range(positions, radius):
+    for i, j in pairs_within_range(positions, radius).tolist():
         graph.add_edge(node_ids[i], node_ids[j])
     positions_by_id = {node_ids[i]: (float(positions[i, 0]), float(positions[i, 1]))
                        for i in range(n)}

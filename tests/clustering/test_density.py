@@ -14,7 +14,6 @@ from repro.clustering.density import (
 from repro.experiments.paper_values import TABLE1
 from repro.graph.generators import (
     complete_topology,
-    figure1_topology,
     line_topology,
     star_topology,
 )

@@ -8,7 +8,6 @@ import pytest
 from repro.graph.generators import (
     Topology,
     complete_topology,
-    figure1_topology,
     grid_topology,
     line_topology,
     poisson_topology,
@@ -107,6 +106,26 @@ class TestGrid:
     def test_square_grid_small_counts(self):
         assert len(square_grid_topology(1, 0.5).graph) == 1
         assert len(square_grid_topology(4, 0.9).graph) == 4
+
+    def test_square_grid_never_collapses_to_one_node(self):
+        # Regression guard: asking for >= 2 nodes must never round down
+        # to a single-node grid (the approx_count=2 risk: rows=round(
+        # sqrt(2))=1 leaves the node count entirely to cols rounding).
+        for approx_count in range(2, 60):
+            topo = square_grid_topology(approx_count, 0.5)
+            assert len(topo.graph) >= 2, approx_count
+
+    def test_square_grid_matches_documented_factorization(self):
+        # The docstring's example: 1000 nodes -> the 32x31 = 992 grid.
+        topo = square_grid_topology(1000, radius=0.05)
+        assert len(topo.graph) == 992
+
+    def test_square_grid_stays_near_square(self):
+        for approx_count in (10, 50, 100, 500):
+            topo = square_grid_topology(approx_count, 0.5)
+            rows = int(round(math.sqrt(approx_count)))
+            count = len(topo.graph)
+            assert abs(count - approx_count) <= max(rows, 2)
 
 
 class TestRandomDeployments:

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.graph.geometry import pairwise_within_range, unit_disk_graph
+from repro.graph.geometry import (
+    pairs_within_range,
+    pairwise_within_range,
+    unit_disk_graph,
+)
 from repro.util.errors import ConfigurationError
 
 
@@ -55,6 +59,67 @@ class TestPairwiseWithinRange:
         points = [(x * 0.09999, 0.0) for x in range(12)]
         fast = set(pairwise_within_range(points, 0.1))
         assert fast == brute_force_pairs(points, 0.1)
+
+    def test_property_random_sets_match_brute_force(self):
+        # Property-style sweep: many sizes and radii, including radii
+        # large enough for a single cell and small enough for hundreds.
+        rng = np.random.default_rng(42)
+        for n in (1, 2, 7, 40, 150):
+            for radius in (0.01, 0.07, 0.25, 0.9, 2.0):
+                points = rng.uniform(0, 1, size=(n, 2))
+                fast = set(pairwise_within_range(points, radius))
+                assert fast == brute_force_pairs(points, radius), \
+                    (n, radius)
+
+    def test_property_exact_boundary_distances(self):
+        # A lattice with spacing exactly equal to the radius: every
+        # orthogonal neighbor pair sits at distance == radius and must be
+        # included (<=, not <), in every direction.
+        radius = 0.125
+        points = [(col * radius, row * radius)
+                  for row in range(5) for col in range(5)]
+        fast = set(pairwise_within_range(points, radius))
+        expected = brute_force_pairs(points, radius)
+        assert fast == expected
+        # Sanity: the boundary pairs really are there (4-neighborhood).
+        assert (0, 1) in fast and (0, 5) in fast and (0, 6) not in fast
+
+    def test_property_negative_and_offset_coordinates(self):
+        # Cell binning must not assume the unit square.
+        rng = np.random.default_rng(3)
+        points = rng.uniform(-5.0, 5.0, size=(80, 2))
+        fast = set(pairwise_within_range(points, 0.8))
+        assert fast == brute_force_pairs(points, 0.8)
+
+    def test_many_coincident_points(self):
+        points = [(0.3, 0.3)] * 6 + [(0.9, 0.9)]
+        fast = set(pairwise_within_range(points, 0.05))
+        assert fast == {(i, j) for i in range(6) for j in range(i + 1, 6)}
+
+
+class TestPairsWithinRangeArray:
+    def test_returns_sorted_int_array(self):
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0, 1, size=(60, 2))
+        pairs = pairs_within_range(points, 0.2)
+        assert pairs.dtype == np.int64
+        assert pairs.ndim == 2 and pairs.shape[1] == 2
+        assert (pairs[:, 0] < pairs[:, 1]).all()
+        # Lexicographic order makes the output deterministic.
+        keys = list(map(tuple, pairs.tolist()))
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)  # no duplicates
+
+    def test_agrees_with_tuple_view(self):
+        rng = np.random.default_rng(9)
+        points = rng.uniform(0, 1, size=(50, 2))
+        pairs = pairs_within_range(points, 0.3)
+        assert [tuple(p) for p in pairs.tolist()] == \
+            pairwise_within_range(points, 0.3)
+
+    def test_empty_cases(self):
+        assert pairs_within_range(np.empty((0, 2)), 0.1).shape == (0, 2)
+        assert pairs_within_range([(0.5, 0.5)], 0.1).shape == (0, 2)
 
 
 class TestUnitDiskGraph:

@@ -21,6 +21,18 @@ class TestQuasiUnitDiskGraph:
         quasi_edges = {frozenset(e) for e in quasi.edges}
         assert inner_edges <= quasi_edges <= outer_edges
 
+    def test_same_seed_same_graph(self):
+        # Gray-zone draws consume the RNG in pair order, so determinism
+        # relies on pairwise_within_range's ordering contract
+        # (lexicographic since the vectorized rewrite).
+        points = np.random.default_rng(3).uniform(0, 1, size=(100, 2))
+        first, _ = quasi_unit_disk_graph(points, 0.08, 0.16,
+                                         rng=np.random.default_rng(11))
+        second, _ = quasi_unit_disk_graph(points, 0.08, 0.16,
+                                          rng=np.random.default_rng(11))
+        assert {frozenset(e) for e in first.edges} == \
+            {frozenset(e) for e in second.edges}
+
     def test_degenerate_gray_zone_is_plain_udg(self):
         rng = np.random.default_rng(2)
         points = rng.uniform(0, 1, size=(60, 2))

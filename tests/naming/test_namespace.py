@@ -1,6 +1,5 @@
 """Tests for the constant name space."""
 
-import numpy as np
 import pytest
 
 from repro.naming.namespace import NameSpace, recommended_size

@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.clustering.density import all_densities
-from repro.graph.generators import figure1_topology, line_topology, \
+from repro.graph.generators import line_topology, \
     star_topology, uniform_topology
 from repro.protocols.clustering import DensityClusteringProtocol
 from repro.protocols.stack import claimed_heads, extract_clustering, \
