@@ -8,6 +8,7 @@ from repro.clustering.baselines import (
 from repro.clustering.density import (
     ISOLATED_DENSITY,
     all_densities,
+    all_densities_reference,
     density,
     density_bounds,
     edges_among,
@@ -30,6 +31,7 @@ __all__ = [
     "IncumbentOrder",
     "NodeView",
     "all_densities",
+    "all_densities_reference",
     "best_neighbor",
     "choose_parent",
     "compute_clustering",

@@ -7,6 +7,13 @@ a fresher neighbor.  This slots into the fixpoint machinery through
 :func:`repro.clustering.oracle.clustering_from_keys` -- the extension
 point the paper's conclusion gestures at ("could be applied to several
 clusterization metrics").
+
+Density evaluation runs on the graph's frozen CSR snapshot
+(:meth:`~repro.graph.graph.Graph.to_csr`): repeated windows over an
+unchanged graph reuse the snapshot and its memoized triangle counts, so
+only the first window of a lifetime simulation pays for triangle
+counting.  Callers that already hold the window's densities can pass
+them through ``densities=`` to skip even the dictionary rebuild.
 """
 
 from repro.clustering.density import all_densities
@@ -33,11 +40,12 @@ def energy_keys(graph, battery, tie_ids, dag_ids=None, buckets=5,
 
 
 def energy_aware_clustering(graph, battery, tie_ids=None, dag_ids=None,
-                            buckets=5, fusion=False):
+                            buckets=5, fusion=False, densities=None):
     """Density clustering biased toward energy-rich heads."""
     if tie_ids is None:
         tie_ids = {node: node for node in graph}
-    densities = all_densities(graph, exact=True)
+    if densities is None:
+        densities = all_densities(graph, exact=True)
     keys = energy_keys(graph, battery, tie_ids, dag_ids=dag_ids,
                        buckets=buckets, densities=densities)
     return clustering_from_keys(graph, keys, fusion=fusion,

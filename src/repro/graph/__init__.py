@@ -17,6 +17,7 @@ from repro.graph.geometry import (
     pairwise_within_range,
     unit_disk_graph,
 )
+from repro.graph.csr import CSRAdjacency
 from repro.graph.graph import Graph
 from repro.graph.quasi_udg import quasi_uniform_topology, quasi_unit_disk_graph
 from repro.graph.paths import (
@@ -30,6 +31,7 @@ from repro.graph.paths import (
 )
 
 __all__ = [
+    "CSRAdjacency",
     "Graph",
     "Topology",
     "INFINITY",

@@ -104,19 +104,24 @@ def unit_disk_graph(positions, radius, node_ids=None):
     ``node_ids`` maps point index -> node identifier; defaults to the index
     itself.  Returns ``(graph, positions_by_id)`` where the second element is
     a dict from node id to its ``(x, y)`` position.
+
+    The ``pairs_within_range`` array feeds ``Graph.from_pair_array``
+    directly, so adjacency is assembled in bulk (and the graph carries a
+    ready CSR snapshot) instead of one ``add_edge`` call per pair.
     """
     positions = np.asarray(positions, dtype=float)
     n = len(positions)
     if node_ids is None:
-        node_ids = list(range(n))
-    elif len(node_ids) != n:
-        raise ConfigurationError(
-            f"node_ids has {len(node_ids)} entries for {n} positions")
-    if len(set(node_ids)) != n:
-        raise ConfigurationError("node identifiers must be unique")
-    graph = Graph(nodes=node_ids)
-    for i, j in pairs_within_range(positions, radius).tolist():
-        graph.add_edge(node_ids[i], node_ids[j])
-    positions_by_id = {node_ids[i]: (float(positions[i, 0]), float(positions[i, 1]))
+        node_ids = n
+    else:
+        if len(node_ids) != n:
+            raise ConfigurationError(
+                f"node_ids has {len(node_ids)} entries for {n} positions")
+        if len(set(node_ids)) != n:
+            raise ConfigurationError("node identifiers must be unique")
+    graph = Graph.from_pair_array(pairs_within_range(positions, radius),
+                                  node_ids)
+    ids = graph.nodes
+    positions_by_id = {ids[i]: (float(positions[i, 0]), float(positions[i, 1]))
                        for i in range(n)}
     return graph, positions_by_id

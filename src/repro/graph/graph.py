@@ -4,8 +4,26 @@ The paper's model (Section 3): a set ``V`` of nodes with unique identifiers;
 ``Np`` is the 1-neighborhood of ``p`` (``p`` itself excluded); communication
 is bidirectional; ``N^i_p`` is the i-neighborhood.  This module implements
 that model directly, with the symmetry invariant enforced on every mutation.
+
+Two construction regimes coexist:
+
+* incremental (``add_node`` / ``add_edge``), for the protocol simulations
+  that churn single edges;
+* bulk (``add_edges_from`` / ``from_pair_array``), for the evaluation
+  workloads that ingest the whole ``pairs_within_range`` array at once --
+  adjacency sets are filled per *node* with vectorized grouping, never
+  per edge, and self-loop rejection plus the symmetry invariant hold
+  exactly as on the incremental path.
+
+``to_csr`` exposes a frozen :class:`~repro.graph.csr.CSRAdjacency`
+snapshot for array-speed analytics; it is built on first use, cached, and
+invalidated by any mutation, so repeated reads over an unchanged graph
+reuse it in O(1).
 """
 
+import numpy as np
+
+from repro.graph.csr import CSRAdjacency
 from repro.util.errors import TopologyError
 
 
@@ -14,11 +32,13 @@ class Graph:
 
     Adjacency is stored as ``dict[node, set[node]]``.  Self-loops are
     rejected (the paper requires ``p not in Np``) and edges are always
-    symmetric (``q in Np  iff  p in Nq``).
+    symmetric (``q in Np  iff  p in Nq``), on the incremental and the bulk
+    construction paths alike.
     """
 
     def __init__(self, nodes=(), edges=()):
         self._adj = {}
+        self._csr = None
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -32,6 +52,7 @@ class Graph:
         """Add ``node`` if not already present."""
         if node not in self._adj:
             self._adj[node] = set()
+            self._csr = None
 
     def add_edge(self, u, v):
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
@@ -41,6 +62,125 @@ class Graph:
         self.add_node(v)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._csr = None
+
+    def add_edges_from(self, edges):
+        """Add every edge of ``edges`` in bulk.
+
+        ``edges`` is either an ``(m, 2)`` integer array (the
+        ``pairs_within_range`` shape; entries are node identifiers) or any
+        iterable of ``(u, v)`` pairs.  The array path groups the directed
+        endpoints with one vectorized sort and fills each adjacency set in
+        a single per-node ``update`` -- no per-edge Python loop; new nodes
+        are created in ascending identifier order.  Self-loops raise
+        :class:`TopologyError` and duplicates are idempotent, exactly as
+        with repeated :meth:`add_edge` calls.
+        """
+        if isinstance(edges, np.ndarray):
+            if edges.ndim != 2 or edges.shape[1] != 2:
+                raise TopologyError("edge array must have shape (m, 2)")
+            if not np.issubdtype(edges.dtype, np.integer):
+                raise TopologyError(
+                    "edge array entries must be integer node identifiers")
+            if edges.size == 0:
+                return
+            lo = np.minimum(edges[:, 0], edges[:, 1])
+            hi = np.maximum(edges[:, 0], edges[:, 1])
+            if (lo == hi).any():
+                node = int(lo[int(np.argmax(lo == hi))])
+                raise TopologyError(
+                    f"self-loop on node {node!r} is not allowed")
+            # Canonical (lo, hi) lexicographic order: the merge result is
+            # then independent of the caller's row order.
+            order = np.lexsort((hi, lo))
+            lo, hi = lo[order], hi[order]
+            for node in np.unique(edges).tolist():
+                self.add_node(node)
+            self._bulk_merge(lo, hi, None)
+        else:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    @classmethod
+    def from_pair_array(cls, pairs, node_ids):
+        """Build a graph from an index-pair array in one bulk pass.
+
+        ``pairs`` is an ``(m, 2)`` integer array of *positions* (the
+        ``pairs_within_range`` output); ``node_ids`` is either the node
+        count ``n`` (identifiers are then ``0..n-1``) or a sequence
+        mapping position -> identifier, whose length fixes ``n`` so
+        isolated nodes are preserved.  Pairs are canonicalized and
+        deduplicated; self-loops and out-of-range positions raise
+        :class:`TopologyError`.  The CSR snapshot is built as a by-product
+        and cached, so a following :meth:`to_csr` is free.
+        """
+        if isinstance(node_ids, (int, np.integer)):
+            n = int(node_ids)
+            ids = range(n)
+            identity = True
+        else:
+            ids = list(node_ids)
+            n = len(ids)
+            if len(set(ids)) != n:
+                raise TopologyError("node identifiers must be unique")
+            identity = False
+        pairs = np.asarray(pairs)
+        if pairs.size == 0:
+            pairs = pairs.reshape(0, 2).astype(np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise TopologyError("pairs must be an (m, 2) array")
+        if not np.issubdtype(pairs.dtype, np.integer):
+            raise TopologyError("pairs must contain integer positions")
+        graph = cls(nodes=ids)
+        if len(pairs):
+            if int(pairs.min()) < 0 or int(pairs.max()) >= n:
+                raise TopologyError(
+                    f"pair positions must lie in [0, {n}), got range "
+                    f"[{int(pairs.min())}, {int(pairs.max())}]")
+            lo = np.minimum(pairs[:, 0], pairs[:, 1]).astype(np.int64)
+            hi = np.maximum(pairs[:, 0], pairs[:, 1]).astype(np.int64)
+            if (lo == hi).any():
+                pos = int(lo[int(np.argmax(lo == hi))])
+                raise TopologyError(
+                    f"self-loop on node {pos!r} is not allowed")
+            # Sort + dedup through a scalar key: one int64 sort instead of
+            # a slow structured-dtype row unique.
+            keys = np.unique(lo * n + hi)
+            lo, hi = keys // n, keys % n
+            graph._bulk_merge(lo, hi, None if identity else ids)
+        else:
+            lo = hi = np.empty(0, dtype=np.int64)
+        graph._csr = CSRAdjacency.from_pairs(lo, hi, ids)
+        return graph
+
+    def _bulk_merge(self, lo, hi, to_id):
+        """Merge canonical pairs into the adjacency sets, one node at a time.
+
+        ``lo`` / ``hi`` hold node identifiers directly when ``to_id`` is
+        ``None``, else positions translated through the ``to_id`` sequence.
+        Callers pass the pairs in (lo, hi) lexicographic order; each set
+        then receives its neighbors smaller-endpoint-first in pair order
+        -- the same insertion sequence a pair-by-pair ``add_edge`` loop
+        over those sorted pairs would produce, which keeps iteration
+        order (and everything downstream of it) identical to the
+        incremental path.
+        """
+        src = np.concatenate((hi, lo))
+        dst = np.concatenate((lo, hi))
+        order = np.argsort(src, kind="stable")
+        src = src[order]
+        dst = dst[order]
+        starts = np.flatnonzero(np.r_[True, src[1:] != src[:-1]])
+        ends = np.r_[starts[1:], src.size]
+        owners = src[starts].tolist()
+        dst_list = dst.tolist()
+        adj = self._adj
+        for owner, s, e in zip(owners, starts.tolist(), ends.tolist()):
+            if to_id is None:
+                adj[owner].update(dst_list[s:e])
+            else:
+                adj[to_id[owner]].update(to_id[x] for x in dst_list[s:e])
+        self._csr = None
 
     def remove_edge(self, u, v):
         """Remove the undirected edge ``{u, v}``; missing edges are errors."""
@@ -49,6 +189,7 @@ class Graph:
             self._adj[v].remove(u)
         except KeyError:
             raise TopologyError(f"edge ({u!r}, {v!r}) not in graph") from None
+        self._csr = None
 
     def remove_node(self, node):
         """Remove ``node`` and all its incident edges."""
@@ -57,11 +198,15 @@ class Graph:
         for neighbor in self._adj[node]:
             self._adj[neighbor].discard(node)
         del self._adj[node]
+        self._csr = None
 
     def copy(self):
         """Return an independent copy of this graph."""
         clone = Graph()
         clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        # The snapshot is immutable and describes the same structure, so
+        # the copy can share it until either side mutates.
+        clone._csr = self._csr
         return clone
 
     # ------------------------------------------------------------------
@@ -77,6 +222,15 @@ class Graph:
     def __iter__(self):
         return iter(self._adj)
 
+    def __getstate__(self):
+        # Drop the cached snapshot: it is cheap to rebuild and would bloat
+        # the payloads shipped to experiment worker processes.
+        return {"_adj": self._adj}
+
+    def __setstate__(self, state):
+        self._adj = state["_adj"]
+        self._csr = None
+
     @property
     def nodes(self):
         """All node identifiers, in insertion order."""
@@ -84,15 +238,32 @@ class Graph:
 
     @property
     def edges(self):
-        """Each undirected edge once, as a sorted-by-insertion (u, v) pair."""
-        seen = set()
+        """Each undirected edge once, as a sorted-by-insertion (u, v) pair.
+
+        Emits ``(u, v)`` from the earlier-inserted endpoint: since nodes
+        are scanned in insertion order, an insertion-rank check picks each
+        edge exactly once without materializing a ``seen`` set of tuples.
+        """
+        rank = {node: i for i, node in enumerate(self._adj)}
         result = []
         for u, nbrs in self._adj.items():
+            ru = rank[u]
             for v in nbrs:
-                if (v, u) not in seen:
-                    seen.add((u, v))
+                if ru < rank[v]:
                     result.append((u, v))
         return result
+
+    def to_csr(self):
+        """The frozen :class:`~repro.graph.csr.CSRAdjacency` snapshot.
+
+        Built from the current adjacency on first call and cached; any
+        mutation (node or edge, incremental or bulk) invalidates the cache
+        so the next call rebuilds.  Graphs built by :meth:`from_pair_array`
+        carry their snapshot from construction.
+        """
+        if self._csr is None:
+            self._csr = CSRAdjacency.from_dict(self._adj)
+        return self._csr
 
     def has_edge(self, u, v):
         """True iff the undirected edge ``{u, v}`` exists."""
@@ -141,7 +312,7 @@ class Graph:
         return reached
 
     def edge_count(self):
-        """Number of undirected edges."""
+        """Number of undirected edges (degree sum halved; no edge list)."""
         return sum(len(nbrs) for nbrs in self._adj.values()) // 2
 
     def induced_subgraph(self, nodes):

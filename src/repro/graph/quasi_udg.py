@@ -17,37 +17,50 @@ disk model.
 import numpy as np
 
 from repro.graph.generators import Topology
-from repro.graph.geometry import pairwise_within_range
+from repro.graph.geometry import pairs_within_range
 from repro.graph.graph import Graph
 from repro.util.errors import ConfigurationError
 from repro.util.rng import as_rng
 
 
 def quasi_unit_disk_graph(positions, r_min, r_max, rng=None, node_ids=None):
-    """Build a quasi-UDG over ``positions``; returns (graph, positions)."""
+    """Build a quasi-UDG over ``positions``; returns (graph, positions).
+
+    Candidate pairs, distances, and the gray-zone keep decisions are all
+    evaluated with array expressions; one batched ``rng.random(k)`` call
+    draws the gray-zone variates in pair order, which is the same stream
+    (and therefore the same graph) a per-pair scalar draw produces.  The
+    surviving pairs then build the graph through the bulk
+    ``Graph.from_pair_array`` path.
+    """
     if not 0 < r_min <= r_max:
         raise ConfigurationError(
             f"need 0 < r_min <= r_max, got {r_min}, {r_max}")
     rng = as_rng(rng)
     positions = np.asarray(positions, dtype=float)
     n = len(positions)
-    if node_ids is None:
-        node_ids = list(range(n))
-    elif len(node_ids) != n:
+    if node_ids is not None and len(node_ids) != n:
         raise ConfigurationError(
             f"node_ids has {len(node_ids)} entries for {n} positions")
-    graph = Graph(nodes=node_ids)
+    candidates = pairs_within_range(positions, r_max)
     span = r_max - r_min
-    for i, j in pairwise_within_range(positions, r_max):
-        distance = float(np.hypot(*(positions[i] - positions[j])))
-        if distance <= r_min:
-            graph.add_edge(node_ids[i], node_ids[j])
-        elif span > 0:
-            keep_probability = (r_max - distance) / span
-            if rng.random() < keep_probability:
-                graph.add_edge(node_ids[i], node_ids[j])
-    positions_by_id = {node_ids[i]: (float(positions[i, 0]),
-                                     float(positions[i, 1]))
+    if len(candidates):
+        delta = positions[candidates[:, 0]] - positions[candidates[:, 1]]
+        distance = np.hypot(delta[:, 0], delta[:, 1])
+        keep = distance <= r_min
+        if span > 0:
+            gray = np.flatnonzero(~keep)
+            if gray.size:
+                draws = rng.random(gray.size)
+                keep[gray] = draws < (r_max - distance[gray]) / span
+        kept_pairs = candidates[keep]
+    else:
+        kept_pairs = candidates
+    graph = Graph.from_pair_array(kept_pairs,
+                                  n if node_ids is None else node_ids)
+    ids = graph.nodes
+    positions_by_id = {ids[i]: (float(positions[i, 0]),
+                                float(positions[i, 1]))
                        for i in range(n)}
     return graph, positions_by_id
 

@@ -41,22 +41,28 @@ def overlay_topology(topology, clustering):
     if set(clustering.head_of) != set(topology.graph.nodes):
         raise ConfigurationError(
             "clustering does not cover the topology's nodes")
-    graph = Graph(nodes=clustering.heads)
+    # One hoisted dict lookup per endpoint; the edge scan stays in
+    # ``Graph.edges`` order, which defines each overlay edge's gateway as
+    # the first physical edge realizing it.
+    head_of = clustering.head_of
     gateways = {}
+    overlay_edges = []
     for u, v in topology.graph.edges:
-        head_u = clustering.head(u)
-        head_v = clustering.head(v)
+        head_u = head_of[u]
+        head_v = head_of[v]
         if head_u == head_v:
             continue
         key = frozenset((head_u, head_v))
         if key not in gateways:
-            graph.add_edge(head_u, head_v)
+            overlay_edges.append((head_u, head_v))
             # Normalize orientation: first endpoint belongs to min(key).
             first = min(key, key=repr)
             if head_u == first:
                 gateways[key] = (u, v)
             else:
                 gateways[key] = (v, u)
+    graph = Graph(nodes=clustering.heads)
+    graph.add_edges_from(overlay_edges)
     positions = None
     if topology.positions:
         positions = {head: topology.positions[head]

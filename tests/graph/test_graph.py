@@ -1,5 +1,6 @@
 """Unit tests for the core Graph structure."""
 
+import numpy as np
 import pytest
 
 from repro.graph.graph import Graph
@@ -179,3 +180,126 @@ class TestQueries:
 
     def test_repr_mentions_size(self):
         assert "n=3" in repr(make_path(3))
+
+
+class TestBulkConstruction:
+    def test_add_edges_from_iterable(self):
+        graph = Graph()
+        graph.add_edges_from([(1, 2), (2, 3)])
+        assert graph.edge_count() == 2
+        graph.check_symmetry()
+
+    def test_add_edges_from_array(self):
+        graph = Graph()
+        graph.add_edges_from(np.array([[1, 2], [2, 3], [3, 1]]))
+        assert graph.edge_count() == 3
+        assert graph.has_edge(1, 2) and graph.has_edge(3, 1)
+        graph.check_symmetry()
+
+    def test_add_edges_from_array_merges_into_existing(self):
+        graph = Graph(edges=[(0, 1)])
+        graph.add_edges_from(np.array([[1, 2], [0, 1]]))
+        assert graph.edge_count() == 2
+
+    def test_add_edges_from_array_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Graph().add_edges_from(np.array([[1, 2], [3, 3]]))
+
+    def test_add_edges_from_array_duplicates_idempotent(self):
+        graph = Graph()
+        graph.add_edges_from(np.array([[1, 2], [2, 1], [1, 2]]))
+        assert graph.edge_count() == 1
+
+    def test_add_edges_from_bad_shape_raises(self):
+        with pytest.raises(TopologyError):
+            Graph().add_edges_from(np.array([1, 2, 3]))
+
+    def test_from_pair_array_with_count(self):
+        graph = Graph.from_pair_array(np.array([[0, 1], [1, 2]]), 5)
+        assert graph.nodes == [0, 1, 2, 3, 4]
+        assert graph.edge_count() == 2
+        assert graph.degree(4) == 0  # isolated nodes preserved
+        graph.check_symmetry()
+
+    def test_from_pair_array_with_identifiers(self):
+        graph = Graph.from_pair_array(np.array([[0, 2]]), ["a", "b", "c"])
+        assert graph.has_edge("a", "c")
+        assert graph.degree("b") == 0
+
+    def test_from_pair_array_empty(self):
+        graph = Graph.from_pair_array(np.empty((0, 2), dtype=np.int64), 3)
+        assert len(graph) == 3
+        assert graph.edge_count() == 0
+
+    def test_from_pair_array_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Graph.from_pair_array(np.array([[1, 1]]), 3)
+
+    def test_from_pair_array_rejects_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Graph.from_pair_array(np.array([[0, 5]]), 3)
+
+    def test_from_pair_array_rejects_duplicate_ids(self):
+        with pytest.raises(TopologyError):
+            Graph.from_pair_array(np.array([[0, 1]]), ["a", "a"])
+
+    def test_from_pair_array_matches_add_edge_loop(self):
+        pairs = np.array([[0, 1], [0, 3], [1, 2], [2, 3]])
+        loop = Graph(nodes=range(4))
+        for i, j in pairs.tolist():
+            loop.add_edge(i, j)
+        bulk = Graph.from_pair_array(pairs, 4)
+        assert loop._adj == bulk._adj
+        assert loop.edges == bulk.edges
+
+
+class TestCSRSnapshot:
+    def test_to_csr_is_cached(self):
+        graph = make_path(4)
+        assert graph.to_csr() is graph.to_csr()
+
+    def test_mutations_invalidate_snapshot(self):
+        graph = make_path(4)
+        before = graph.to_csr()
+        graph.add_edge(0, 3)
+        after = graph.to_csr()
+        assert after is not before
+        assert after.edge_count() == before.edge_count() + 1
+        graph.remove_edge(0, 3)
+        assert graph.to_csr() is not after
+        graph.add_node(99)
+        assert len(graph.to_csr()) == 5
+        graph.remove_node(99)
+        assert len(graph.to_csr()) == 4
+
+    def test_from_pair_array_prebuilds_snapshot(self):
+        graph = Graph.from_pair_array(np.array([[0, 1]]), 2)
+        assert graph._csr is not None
+
+    def test_copy_shares_snapshot_until_mutation(self):
+        graph = make_path(4)
+        snapshot = graph.to_csr()
+        clone = graph.copy()
+        assert clone.to_csr() is snapshot
+        clone.add_edge(0, 3)
+        assert clone.to_csr() is not snapshot
+        assert graph.to_csr() is snapshot  # original untouched
+
+    def test_pickle_drops_snapshot(self):
+        import pickle
+
+        graph = make_path(4)
+        graph.to_csr()
+        restored = pickle.loads(pickle.dumps(graph))
+        assert restored._csr is None
+        assert restored._adj == graph._adj
+        assert restored.to_csr().edge_count() == 3
+
+    def test_snapshot_reflects_structure(self):
+        graph = Graph(edges=[("b", "a"), ("a", "c")])
+        csr = graph.to_csr()
+        assert list(csr.ids) == ["b", "a", "c"]  # insertion order
+        index = csr.index_of
+        assert csr.has_edge(index["a"], index["b"])
+        assert not csr.has_edge(index["b"], index["c"])
+        assert csr.edge_count() == 2
