@@ -25,8 +25,10 @@ artifact on sparse graphs) falls back to electing itself; this keeps the
 result a valid connected clustering and is called out in DESIGN.md.
 """
 
+import numpy as np
+
 from repro.clustering.result import Clustering
-from repro.graph.paths import bfs_distances
+from repro.graph.traversal import csr_multi_source_distances
 from repro.util.errors import ConfigurationError
 
 
@@ -93,25 +95,42 @@ def _parents_from_membership(graph, chosen_head, tie_ids):
     the cluster-induced subgraph (ties broken by smaller identifier).
     Members disconnected from their head inside the cluster become
     singleton heads (see module docstring).
+
+    All per-cluster BFS trees come from one label-constrained multi-source
+    sweep on the CSR snapshot (`repro.graph.traversal`): every head seeds
+    a wave that expands only along same-cluster edges, which yields the
+    induced-subgraph distances without ever building a subgraph.  The
+    parent choice (minimum-``tie_ids`` neighbor one hop closer to the
+    head) operates on distance values only, so the forest is identical to
+    the per-cluster implementation.
     """
-    clusters = {}
+    csr = graph.to_csr()
+    index_of = csr.index_of
+    n = len(csr)
+    # -1 keeps any row not covered by chosen_head deterministically
+    # unreachable (chosen_head is total over the graph today, but the
+    # sweep must not depend on uninitialized memory if that ever slips).
+    labels = np.full(n, -1, dtype=np.int64)
     for node, head in chosen_head.items():
-        clusters.setdefault(head, set()).add(node)
+        labels[index_of[node]] = index_of[head]
+    sources = np.fromiter(
+        {index_of[head] for head in chosen_head.values()},
+        dtype=np.int64)
+    dist = csr_multi_source_distances(csr, sources, labels=labels)
 
     parents = {}
-    for head, members in clusters.items():
-        members = set(members)
-        members.add(head)
-        subgraph = graph.induced_subgraph(members)
-        distances = bfs_distances(subgraph, head)
-        parents[head] = head
-        for node in members:
-            if node == head:
-                continue
-            if node not in distances:
-                parents[node] = node  # unreachable: fall back to singleton
-                continue
-            closer = [q for q in subgraph.neighbors(node)
-                      if distances.get(q, float("inf")) == distances[node] - 1]
-            parents[node] = min(closer, key=tie_ids.get)
+    ids = csr.ids
+    indptr, indices = csr.indptr, csr.indices
+    for row in range(n):
+        node = ids[row]
+        if labels[row] == row:
+            parents[node] = node  # a head roots its own tree
+        elif dist[row] < 0:
+            parents[node] = node  # unreachable: fall back to singleton
+        else:
+            nbrs = indices[indptr[row]:indptr[row + 1]]
+            closer = nbrs[(labels[nbrs] == labels[row])
+                          & (dist[nbrs] == dist[row] - 1)]
+            parents[node] = min((ids[q] for q in closer.tolist()),
+                                key=tie_ids.get)
     return parents

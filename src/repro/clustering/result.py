@@ -11,9 +11,20 @@ neighbor, or itself), and the root of each tree is the cluster-head
 * ``tree_length`` -- the height of a cluster's joining tree, i.e. the
   maximum number of parent links from a member to its head, which bounds
   the number of steps head identities need to propagate (Section 5).
+
+Both metric families ride the CSR traversal kernel
+(:mod:`repro.graph.traversal`): *all* head eccentricities come from one
+batched label-constrained BFS sweep over the whole graph (no induced
+subgraphs), and *all* joining-tree depths from one pointer-doubling
+resolve of the parent forest (no per-node link-chasing).  Distances and
+depths are tie-break-free, so every reported number is identical to the
+per-node implementations, which survive as ``*_reference`` oracles.
 """
 
-from repro.graph.paths import bfs_distances
+import numpy as np
+
+from repro.graph.paths import bfs_distances_reference
+from repro.graph.traversal import csr_multi_source_distances, resolve_forest
 from repro.util.errors import TopologyError
 
 
@@ -33,6 +44,9 @@ class Clustering:
         self.heads = frozenset(node for node, parent in self.parents.items()
                                if parent == node)
         self.clusters = self._group_clusters()
+        self._forest_cache = None
+        self._height_cache = None
+        self._sweep_cache = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -76,6 +90,98 @@ class Clustering:
         return {head: frozenset(members) for head, members in clusters.items()}
 
     # ------------------------------------------------------------------
+    # traversal-kernel caches
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        # The caches hold frozen CSR snapshots and arrays; they are cheap
+        # to rebuild and would bloat (or break) pickled payloads shipped
+        # to experiment worker processes.
+        state = self.__dict__.copy()
+        state["_forest_cache"] = None
+        state["_height_cache"] = None
+        state["_sweep_cache"] = None
+        return state
+
+    def _forest(self):
+        """``(index, depths)``: per-node joining-forest depths.
+
+        One pointer-doubling resolve over the whole forest (O(n log h)
+        numpy ops), computed lazily and cached -- the parent map is
+        immutable.  Cycles were already ruled out by
+        :meth:`_resolve_heads`.
+        """
+        if self._forest_cache is None:
+            nodes = list(self.parents)
+            index = {node: i for i, node in enumerate(nodes)}
+            rows = np.fromiter((index[self.parents[node]] for node in nodes),
+                               dtype=np.int64, count=len(nodes))
+            _roots, depths = resolve_forest(rows)
+            self._forest_cache = (index, depths)
+        return self._forest_cache
+
+    def _tree_heights(self):
+        """Per-head joining-tree heights, one ``maximum.at`` scatter."""
+        if self._height_cache is None:
+            index, depths = self._forest()
+            heights = np.zeros(len(index), dtype=np.int64)
+            if index:
+                head_rows = np.fromiter(
+                    (index[self.head_of[node]] for node in self.parents),
+                    dtype=np.int64, count=len(index))
+                np.maximum.at(heights, head_rows, depths)
+            self._height_cache = heights
+        return self._height_cache
+
+    def _cluster_sweep(self):
+        """``(csr, labels, ecc, reach)`` from one batched head sweep.
+
+        Every head seeds a BFS wave that expands only along edges whose
+        endpoints share the head's label, so the sweep computes every
+        cluster's internal distances simultaneously -- no induced
+        subgraphs.  ``ecc[r]`` / ``reach[r]`` are the eccentricity and
+        reached-member count of the head at row ``r``.  Cached against
+        the CSR snapshot identity, so any graph mutation (which
+        invalidates the snapshot) forces a re-sweep.
+        """
+        csr = self.graph.to_csr()
+        cached = self._sweep_cache
+        if cached is not None and cached[0] is csr:
+            return cached
+        n = len(csr)
+        index_of = csr.index_of
+        labels = np.full(n, -1, dtype=np.int64)
+        for node, head in self.head_of.items():
+            row = index_of.get(node)
+            head_row = index_of.get(head)
+            if row is not None and head_row is not None:
+                labels[row] = head_row
+        sources = np.fromiter(
+            (index_of[head] for head in self.heads if head in index_of),
+            dtype=np.int64)
+        dist = csr_multi_source_distances(csr, sources, labels=labels)
+        ecc = np.zeros(n, dtype=np.int64)
+        reach = np.zeros(n, dtype=np.int64)
+        reached = dist >= 0
+        if bool(reached.any()):
+            lab = labels[reached]
+            np.maximum.at(ecc, lab, dist[reached])
+            reach += np.bincount(lab, minlength=n)
+        self._sweep_cache = (csr, labels, ecc, reach)
+        return self._sweep_cache
+
+    def cluster_rows(self):
+        """``(csr, labels)``: the graph snapshot plus per-row cluster labels.
+
+        ``labels[r]`` is the row index of row ``r``'s head (``-1`` for
+        rows outside the clustering).  Shared with hierarchical routing,
+        whose intra-cluster legs are label-constrained path searches over
+        the same arrays.
+        """
+        csr, labels, _ecc, _reach = self._cluster_sweep()
+        return csr, labels
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
 
@@ -104,6 +210,11 @@ class Clustering:
 
     def depth(self, node):
         """Number of parent links from ``node`` to its head."""
+        index, depths = self._forest()
+        return int(depths[index[node]])
+
+    def depth_reference(self, node):
+        """The original link-chasing depth (oracle for the kernel path)."""
         count = 0
         current = node
         while self.parents[current] != current:
@@ -117,8 +228,14 @@ class Clustering:
 
     def tree_length(self, head):
         """Height of the joining tree rooted at ``head`` (0 for singletons)."""
+        self.members(head)  # validates that ``head`` is a cluster-head
+        index, _depths = self._forest()
+        return int(self._tree_heights()[index[head]])
+
+    def tree_length_reference(self, head):
+        """The original per-member link-chasing height (oracle)."""
         members = self.members(head)
-        return max(self.depth(node) for node in members)
+        return max(self.depth_reference(node) for node in members)
 
     def average_tree_length(self):
         """Mean joining-tree height over clusters ("average tree length")."""
@@ -128,10 +245,27 @@ class Clustering:
 
     def head_eccentricity(self, head):
         """``e(H(u)/C)``: max hop distance from the head to any member,
-        measured inside the cluster-induced subgraph."""
+        measured inside the cluster-induced subgraph.
+
+        Served from the cached batched sweep: label-constrained expansion
+        yields exactly the induced-subgraph distances, because every
+        traversed edge has both endpoints inside the cluster.
+        """
+        members = self.members(head)
+        csr, _labels, ecc, reach = self._cluster_sweep()
+        row = csr.index_of.get(head)
+        if row is None or int(reach[row]) != len(members):
+            # Members missing from the graph or disconnected from their
+            # head: re-run the subgraph oracle, which raises the precise
+            # historical error for either failure.
+            return self.head_eccentricity_reference(head)
+        return int(ecc[row])
+
+    def head_eccentricity_reference(self, head):
+        """The original induced-subgraph BFS (oracle for the sweep)."""
         members = self.members(head)
         subgraph = self.graph.induced_subgraph(members)
-        distances = bfs_distances(subgraph, head)
+        distances = bfs_distances_reference(subgraph, head)
         if set(distances) != set(members):
             raise TopologyError(
                 f"cluster of {head!r} is not connected; joining forest invalid")
@@ -150,12 +284,17 @@ class Clustering:
     def check_invariants(self, heads_non_adjacent=True):
         """Verify the structural guarantees the paper relies on.
 
-        Raises :class:`TopologyError` on violation.  ``heads_non_adjacent``
-        asserts that no two cluster-heads are neighbors (guaranteed by the
-        basic rule); when :attr:`fusion` is set, heads must additionally be
-        at least 3 hops apart, which :meth:`check_fusion_separation` covers.
+        Raises :class:`TopologyError` on violation.  Cluster connectivity
+        is checked in a single pass against the batched sweep's reach
+        counts (one BFS over the graph, not one per head).
+        ``heads_non_adjacent`` asserts that no two cluster-heads are
+        neighbors (guaranteed by the basic rule); when :attr:`fusion` is
+        set, heads must additionally be at least 3 hops apart, which
+        :meth:`check_fusion_separation` covers.
         """
         for head in self.heads:
+            # Served from one shared batched sweep, so the whole loop costs
+            # one BFS over the graph plus O(heads) cache reads.
             self.head_eccentricity(head)  # raises if a cluster is disconnected
         if heads_non_adjacent:
             for head in self.heads:

@@ -23,11 +23,20 @@ from repro.graph.quasi_udg import quasi_uniform_topology, quasi_unit_disk_graph
 from repro.graph.paths import (
     INFINITY,
     bfs_distances,
+    bfs_distances_reference,
     connected_components,
+    connected_components_reference,
     diameter,
     eccentricity,
     hop_distance,
     is_connected,
+)
+from repro.graph.traversal import (
+    csr_bfs_distances,
+    csr_component_labels,
+    csr_multi_source_distances,
+    csr_shortest_path,
+    resolve_forest,
 )
 
 __all__ = [
@@ -36,8 +45,14 @@ __all__ = [
     "Topology",
     "INFINITY",
     "bfs_distances",
+    "bfs_distances_reference",
     "complete_topology",
     "connected_components",
+    "connected_components_reference",
+    "csr_bfs_distances",
+    "csr_component_labels",
+    "csr_multi_source_distances",
+    "csr_shortest_path",
     "diameter",
     "eccentricity",
     "figure1_topology",
@@ -50,6 +65,7 @@ __all__ = [
     "poisson_topology",
     "quasi_uniform_topology",
     "quasi_unit_disk_graph",
+    "resolve_forest",
     "ring_topology",
     "square_grid_topology",
     "star_topology",

@@ -4,10 +4,22 @@ The paper's metrics are hop-based: ``d(u, v)`` is the minimum number of hops
 and ``e(H(u)/C) = max_{v in C(u)} d(H(u), v)`` is the eccentricity of a
 cluster-head inside its cluster.  All functions here operate on
 :class:`~repro.graph.graph.Graph` instances.
+
+Since the traversal-kernel refactor these functions ride the graph's
+cached CSR snapshot (:mod:`repro.graph.traversal`): frontiers are numpy
+index arrays, so a BFS is a handful of vectorized gathers per level
+instead of a Python loop per edge.  Distances and component partitions
+are tie-break-free, so results are identical to the dict backend; the
+original deque implementations survive as ``bfs_distances_reference`` /
+``connected_components_reference``, the equivalence oracles used by the
+property tests.
 """
 
 from collections import deque
 
+import numpy as np
+
+from repro.graph.traversal import csr_bfs_distances, csr_component_labels
 from repro.util.errors import TopologyError
 
 INFINITY = float("inf")
@@ -15,6 +27,17 @@ INFINITY = float("inf")
 
 def bfs_distances(graph, source):
     """Hop distance from ``source`` to every reachable node (source -> 0)."""
+    if source not in graph:
+        raise TopologyError(f"source {source!r} not in graph")
+    csr = graph.to_csr()
+    dist = csr_bfs_distances(csr, csr.index_of[source])
+    ids = csr.ids
+    return {ids[row]: int(dist[row])
+            for row in np.flatnonzero(dist >= 0).tolist()}
+
+
+def bfs_distances_reference(graph, source):
+    """The original dict-backend BFS (equivalence oracle for the kernel)."""
     if source not in graph:
         raise TopologyError(f"source {source!r} not in graph")
     distances = {source: 0}
@@ -39,32 +62,74 @@ def eccentricity(graph, node, within=None):
     """Max hop distance from ``node`` to the nodes of ``within``.
 
     ``within`` defaults to all of ``graph``.  If some target is unreachable
-    the eccentricity is ``inf``.
+    the eccentricity is ``inf``.  The default path works directly on the
+    kernel's distance array -- no node-set or target-set copies.
     """
-    targets = set(within) if within is not None else set(graph.nodes)
+    if node not in graph:
+        raise TopologyError(f"source {node!r} not in graph")
+    csr = graph.to_csr()
+    dist = csr_bfs_distances(csr, csr.index_of[node])
+    if within is None:
+        if bool((dist < 0).any()):
+            return INFINITY
+        return int(dist.max())
+    targets = set(within)
     missing = targets - set(graph.nodes)
     if missing:
         raise TopologyError(f"targets not in graph: {sorted(missing, key=repr)}")
     if not targets:
         raise TopologyError("eccentricity over an empty target set")
-    distances = bfs_distances(graph, node)
-    return max(distances.get(target, INFINITY) for target in targets)
+    index_of = csr.index_of
+    rows = np.fromiter((index_of[target] for target in targets),
+                       dtype=np.int64, count=len(targets))
+    target_dist = dist[rows]
+    if bool((target_dist < 0).any()):
+        return INFINITY
+    return int(target_dist.max())
 
 
 def diameter(graph):
     """Max eccentricity over all nodes; ``inf`` if disconnected, 0 if empty."""
     if len(graph) == 0:
         return 0
-    return max(eccentricity(graph, node) for node in graph)
+    csr = graph.to_csr()
+    best = 0
+    for row in range(len(csr)):
+        dist = csr_bfs_distances(csr, row)
+        if bool((dist < 0).any()):
+            # Some node is unreachable, so *every* eccentricity is inf.
+            return INFINITY
+        best = max(best, int(dist.max()))
+    return best
 
 
 def connected_components(graph):
-    """List of node sets, one per connected component."""
+    """List of node sets, one per connected component.
+
+    Components are ordered by their first node in graph insertion order.
+    """
+    n = len(graph)
+    if n == 0:
+        return []
+    csr = graph.to_csr()
+    labels = csr_component_labels(csr)
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    starts = np.flatnonzero(np.r_[True, sorted_labels[1:] != sorted_labels[:-1]])
+    bounds = np.r_[starts, n].tolist()
+    ids = csr.ids
+    members = order.tolist()
+    return [{ids[i] for i in members[lo:hi]}
+            for lo, hi in zip(bounds, bounds[1:])]
+
+
+def connected_components_reference(graph):
+    """The original per-component BFS sweep (equivalence oracle)."""
     remaining = set(graph.nodes)
     components = []
     while remaining:
         start = next(iter(remaining))
-        component = set(bfs_distances(graph, start))
+        component = set(bfs_distances_reference(graph, start))
         components.append(component)
         remaining -= component
     return components
@@ -72,4 +137,7 @@ def connected_components(graph):
 
 def is_connected(graph):
     """True iff the graph has at most one connected component."""
-    return len(connected_components(graph)) <= 1
+    if len(graph) <= 1:
+        return True
+    csr = graph.to_csr()
+    return bool((csr_bfs_distances(csr, 0) >= 0).all())

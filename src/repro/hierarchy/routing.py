@@ -13,11 +13,22 @@ Intra-cluster legs follow shortest paths in the cluster-induced subgraph,
 overlay legs follow shortest paths in the overlay graph.  The *stretch*
 (hierarchical length / flat shortest-path length) quantifies what the
 routing-state savings cost; the scalability experiment reports both.
+
+Traversal-heavy pieces ride the CSR kernel: the flat BFS distance of
+:func:`route_stretch` is one array-frontier sweep, and the intra-cluster
+legs are label-constrained path searches over the full-graph snapshot
+(sharing the clustering's cached per-row labels), so no induced subgraph
+is ever materialized.  Leg *lengths* are shortest-path lengths between
+fixed endpoints, a tie-break-free quantity, so every reported hop count
+and stretch is unchanged.  The overlay leg keeps the dict-backend
+:func:`shortest_path`: overlay graphs are tiny, and preserving its
+historical tie-breaks keeps the chosen head path (and hence the gateway
+sequence) bit-identical.
 """
 
 from collections import deque
 
-from repro.graph.paths import bfs_distances
+from repro.graph.traversal import csr_bfs_distances, csr_shortest_path
 from repro.hierarchy.overlay import gateway_for
 from repro.util.errors import ConfigurationError, TopologyError
 
@@ -50,13 +61,23 @@ def _unwind(parents, target):
 
 
 def _intra_cluster_path(level, head, source, target):
-    members = level.clustering.members(head)
-    subgraph = level.topology.graph.induced_subgraph(members)
-    path = shortest_path(subgraph, source, target)
-    if path is None:
+    """Shortest same-cluster path, label-constrained on the full-graph CSR."""
+    csr, labels = level.clustering.cluster_rows()
+    index_of = csr.index_of
+    if source not in index_of or target not in index_of:
+        raise TopologyError("endpoints must be in the graph")
+    head_row = index_of.get(head)
+    if head_row is None or labels[index_of[source]] != head_row \
+            or labels[index_of[target]] != head_row:
+        # Same contract as routing inside induced_subgraph(members(head)):
+        # endpoints outside the cluster are errors, not detours.
+        raise TopologyError("endpoints must be in the graph")
+    rows = csr_shortest_path(csr, index_of[source], index_of[target],
+                             labels=labels)
+    if rows is None:
         raise TopologyError(
             f"cluster of {head!r} is internally disconnected")
-    return path
+    return [csr.ids[row] for row in rows]
 
 
 def hierarchical_route(hierarchy, source, destination):
@@ -101,9 +122,14 @@ def route_stretch(hierarchy, source, destination):
     Raises :class:`ConfigurationError` when the pair is disconnected.
     """
     graph = hierarchy.physical.topology.graph
-    flat = bfs_distances(graph, source).get(destination)
-    if flat is None:
+    if source not in graph:
+        raise TopologyError(f"source {source!r} not in graph")
+    csr = graph.to_csr()
+    dist = csr_bfs_distances(csr, csr.index_of[source])
+    target_row = csr.index_of.get(destination)
+    if target_row is None or dist[target_row] < 0:
         raise ConfigurationError("pair is not connected")
+    flat = int(dist[target_row])
     if flat == 0:
         return (0, 0, 1.0)
     route = hierarchical_route(hierarchy, source, destination)

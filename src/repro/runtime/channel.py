@@ -35,9 +35,44 @@ class Channel:
 
 
 class IdealChannel(Channel):
-    """Lossless broadcast: τ = 1."""
+    """Lossless broadcast: τ = 1.
+
+    The per-step delivery scan rides the graph's cached CSR snapshot when
+    the senders are exactly the graph's nodes in insertion order (the
+    shape every :meth:`StepSimulator.step` produces): a receiver's inbox
+    is its CSR row read off the shared ``indices`` array, which lists
+    neighbor rows ascending -- the same sender order the dict-backend
+    scan appends in.  Partial sender sets and non-``Graph`` topologies
+    fall back to the original scan.
+    """
+
+    def __init__(self):
+        self._scan_cache = None
+
+    def __getstate__(self):
+        # The cache holds a frozen CSR snapshot; drop it so pickled
+        # channels (experiment task payloads) stay lean and rebuildable.
+        return {"_scan_cache": None}
 
     def deliver(self, frames, graph, rng):
+        to_csr = getattr(graph, "to_csr", None)
+        if to_csr is not None:
+            csr = to_csr()
+            if tuple(frames) == csr.ids:
+                cached = self._scan_cache
+                if cached is None or cached[0] is not csr:
+                    # Memoized per snapshot: steps over an unchanged graph
+                    # (the common regime between mobility windows) reuse
+                    # the flattened row lists.
+                    cached = (csr, csr.ids, csr.indptr.tolist(),
+                              csr.indices.tolist())
+                    self._scan_cache = cached
+                _csr, ids, bounds, neighbor_rows = cached
+                frame_list = list(frames.values())
+                return {ids[row]: [frame_list[j]
+                                   for j in neighbor_rows[bounds[row]:
+                                                          bounds[row + 1]]]
+                        for row in range(len(ids))}
         inboxes = {node: [] for node in graph}
         for sender, frame in frames.items():
             for receiver in graph.neighbors(sender):
@@ -63,6 +98,10 @@ class BernoulliLossChannel(Channel):
         return 1.0 - self.loss
 
     def deliver(self, frames, graph, rng):
+        # Stays on the dict backend: each (frame, receiver) pair consumes
+        # one RNG draw in neighbor-set iteration order, so reordering the
+        # scan (e.g. onto sorted CSR rows) would reshuffle every lossy
+        # trace.
         rng = as_rng(rng)
         inboxes = {node: [] for node in graph}
         for sender, frame in frames.items():

@@ -1,0 +1,162 @@
+"""Unit tests for the CSR traversal kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    csr_bfs_distances,
+    csr_component_labels,
+    csr_multi_source_distances,
+    csr_shortest_path,
+    resolve_forest,
+)
+from repro.util.errors import TopologyError
+
+
+def rows(graph):
+    return graph.to_csr()
+
+
+class TestBfsDistances:
+    def test_path_graph(self):
+        csr = rows(Graph(nodes=range(5), edges=[(i, i + 1) for i in range(4)]))
+        assert csr_bfs_distances(csr, 0).tolist() == [0, 1, 2, 3, 4]
+        assert csr_bfs_distances(csr, 2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_unreachable_marked_minus_one(self):
+        csr = rows(Graph(nodes=[0, 1, 2], edges=[(0, 1)]))
+        assert csr_bfs_distances(csr, 0).tolist() == [0, 1, -1]
+
+    def test_single_node(self):
+        csr = rows(Graph(nodes=[7]))
+        assert csr_bfs_distances(csr, 0).tolist() == [0]
+
+    def test_out_of_range_source_raises(self):
+        csr = rows(Graph(nodes=[0]))
+        with pytest.raises(TopologyError):
+            csr_bfs_distances(csr, 5)
+
+
+class TestMultiSource:
+    def test_two_sources_meet_in_the_middle(self):
+        csr = rows(Graph(nodes=range(5), edges=[(i, i + 1) for i in range(4)]))
+        dist = csr_multi_source_distances(csr, np.array([0, 4]))
+        assert dist.tolist() == [0, 1, 2, 1, 0]
+
+    def test_empty_sources(self):
+        csr = rows(Graph(nodes=range(3), edges=[(0, 1)]))
+        dist = csr_multi_source_distances(csr, np.empty(0, dtype=np.int64))
+        assert dist.tolist() == [-1, -1, -1]
+
+    def test_label_constrained_waves_stay_home(self):
+        # 0-1-2-3-4 with clusters {0,1,2} and {3,4}: the wave from 0 must
+        # not cross the 2-3 edge even though the graph is connected.
+        csr = rows(Graph(nodes=range(5), edges=[(i, i + 1) for i in range(4)]))
+        labels = np.array([0, 0, 0, 3, 3])
+        dist = csr_multi_source_distances(csr, np.array([0, 3]),
+                                          labels=labels)
+        assert dist.tolist() == [0, 1, 2, 0, 1]
+
+    def test_label_constrained_disconnection_detected(self):
+        # 0-1-2 with cluster {0, 2}: 2 is unreachable from 0 inside the
+        # label region (1 belongs to another cluster).
+        csr = rows(Graph(edges=[(0, 1), (1, 2)]))
+        labels = np.array([0, 1, 0])
+        dist = csr_multi_source_distances(csr, np.array([0, 1]),
+                                          labels=labels)
+        assert dist.tolist() == [0, 0, -1]
+
+
+class TestShortestPath:
+    def test_trivial_and_line(self):
+        csr = rows(Graph(nodes=range(5), edges=[(i, i + 1) for i in range(4)]))
+        assert csr_shortest_path(csr, 1, 1) == [1]
+        assert csr_shortest_path(csr, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_disconnected_returns_none(self):
+        csr = rows(Graph(nodes=[0, 1]))
+        assert csr_shortest_path(csr, 0, 1) is None
+
+    def test_out_of_range_raises(self):
+        csr = rows(Graph(nodes=[0]))
+        with pytest.raises(TopologyError):
+            csr_shortest_path(csr, 0, 9)
+
+    def test_path_is_shortest_on_cycle(self):
+        edges = [(i, (i + 1) % 6) for i in range(6)]
+        csr = rows(Graph(edges=edges))
+        path = csr_shortest_path(csr, 0, 3)
+        assert len(path) == 4
+        assert path[0] == 0 and path[-1] == 3
+
+    def test_label_constraint_blocks_shortcuts(self):
+        # Square 0-1-2-3-0 plus chord 0-2; cluster {0, 1, 2} excludes 3,
+        # so 0 -> 2 must use the chord or 1, never 3.
+        csr = rows(Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]))
+        labels = np.array([0, 0, 0, 9])
+        path = csr_shortest_path(csr, 0, 2, labels=labels)
+        assert 3 not in path
+        assert len(path) == 2  # the chord
+
+    def test_label_mismatch_is_unreachable(self):
+        csr = rows(Graph(edges=[(0, 1)]))
+        assert csr_shortest_path(csr, 0, 1,
+                                 labels=np.array([0, 1])) is None
+
+
+class TestComponents:
+    def test_labels_are_component_minima(self):
+        graph = Graph(nodes=[9], edges=[(0, 1), (1, 2), (4, 5)])
+        # insertion order: 9, 0, 1, 2, 4, 5 -> rows 0..5
+        labels = csr_component_labels(graph.to_csr())
+        assert labels.tolist() == [0, 1, 1, 1, 4, 4]
+
+    def test_empty_and_isolated(self):
+        assert csr_component_labels(Graph().to_csr()).size == 0
+        labels = csr_component_labels(Graph(nodes=range(3)).to_csr())
+        assert labels.tolist() == [0, 1, 2]
+
+    def test_long_path_single_component(self):
+        n = 257
+        graph = Graph(nodes=range(n), edges=[(i, i + 1) for i in range(n - 1)])
+        labels = csr_component_labels(graph.to_csr())
+        assert (labels == 0).all()
+
+
+class TestResolveForest:
+    def test_chain_depths(self):
+        roots, depths = resolve_forest(np.array([0, 0, 1, 2]))
+        assert roots.tolist() == [0, 0, 0, 0]
+        assert depths.tolist() == [0, 1, 2, 3]
+
+    def test_forest_of_singletons(self):
+        roots, depths = resolve_forest(np.arange(4))
+        assert roots.tolist() == [0, 1, 2, 3]
+        assert depths.tolist() == [0, 0, 0, 0]
+
+    def test_two_trees(self):
+        roots, depths = resolve_forest(np.array([0, 0, 3, 3, 2]))
+        assert roots.tolist() == [0, 0, 3, 3, 3]
+        assert depths.tolist() == [0, 1, 1, 0, 2]
+
+    def test_empty(self):
+        roots, depths = resolve_forest(np.empty(0, dtype=np.int64))
+        assert roots.size == 0 and depths.size == 0
+
+    def test_cycle_raises(self):
+        with pytest.raises(TopologyError):
+            resolve_forest(np.array([1, 0]))
+        with pytest.raises(TopologyError):
+            resolve_forest(np.array([1, 2, 0, 3]))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(TopologyError):
+            resolve_forest(np.array([5]))
+
+    def test_deep_chain(self):
+        n = 300
+        parent = np.maximum(np.arange(n) - 1, 0)
+        roots, depths = resolve_forest(parent)
+        assert (roots == 0).all()
+        assert depths.tolist() == list(range(n))
