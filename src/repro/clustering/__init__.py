@@ -20,6 +20,7 @@ from repro.clustering.heads import (
     is_local_max,
     wants_headship,
 )
+from repro.clustering.incremental import IncrementalElection
 from repro.clustering.oracle import compute_clustering
 from repro.clustering.order import BasicOrder, IncumbentOrder, NodeView, make_order
 from repro.clustering.result import Clustering
@@ -28,6 +29,7 @@ __all__ = [
     "BasicOrder",
     "Clustering",
     "ISOLATED_DENSITY",
+    "IncrementalElection",
     "IncumbentOrder",
     "NodeView",
     "all_densities",

@@ -50,11 +50,13 @@ def density(graph, node, exact=False):
 def edges_among(graph, nodes):
     """Number of edges with both endpoints in ``nodes`` (each counted once).
 
-    Each edge is claimed by its lower-ranked endpoint (an arbitrary but
-    fixed enumeration of ``nodes``), so the scan allocates no per-edge
-    sets and works for any hashable identifiers.
+    Each edge is claimed by its lower-ranked endpoint, so the scan
+    allocates no per-edge sets and works for any hashable identifiers.
+    Ranks come from ``dict.fromkeys``: one deduplicating pass that keeps
+    the caller's first-seen order, instead of enumerating a freshly built
+    (hash-ordered) set.
     """
-    rank = {u: i for i, u in enumerate(set(nodes))}
+    rank = {u: i for i, u in enumerate(dict.fromkeys(nodes))}
     count = 0
     for u, i in rank.items():
         for v in graph.neighbors(u):

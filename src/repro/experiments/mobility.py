@@ -13,18 +13,35 @@ the basic configuration is the plain Section 4.2 algorithm.  Both are
 evaluated over the *same* mobility trace so the comparison is paired.
 DAG names persist on nodes across windows and are incrementally repaired
 when movement creates conflicts, as a real deployment would.
+
+Two evaluation paths produce bit-identical runs:
+
+* ``dynamics="delta"`` (default) maintains one
+  :class:`~repro.graph.dynamic.DynamicTopology` across the whole trace --
+  exact per-window edge deltas, incremental triangle/density updates, and
+  per-configuration :class:`~repro.clustering.incremental.
+  IncrementalElection` engines.  DAG names are only re-repaired when an
+  *added* edge collides two names, which is exactly when the scratch
+  path's legitimacy check would trigger a redraw (and the only time it
+  consumes RNG), so the random streams stay aligned.
+* ``dynamics="rebuild"`` is the original scratch pipeline
+  (``topology_at`` + ``compute_clustering`` per window), kept as the
+  reference oracle.
 """
 
 from dataclasses import dataclass
 
+from repro.clustering.incremental import IncrementalElection
 from repro.experiments.common import clustered, get_preset
 from repro.experiments.engine import ExperimentSpec, run_experiment
+from repro.graph.dynamic import DynamicTopology
 from repro.naming.assign import assign_dag_ids
 from repro.experiments.paper_values import MOBILITY, SQUARE_SIDE_METERS
 from repro.metrics.stability import RetentionSeries
 from repro.metrics.tables import Table
 from repro.mobility.random_direction import RandomDirectionModel
 from repro.mobility.trace import topology_at
+from repro.util.errors import ConfigurationError
 from repro.util.rng import as_rng, spawn_rngs
 
 SPEED_REGIMES = {
@@ -40,11 +57,18 @@ CONFIGURATIONS = {
 
 @dataclass(frozen=True)
 class MobilityRun:
-    """Retention percentages of one trace, per configuration."""
+    """Retention percentages of one trace, per configuration.
+
+    ``windows`` is the requested window count; ``skipped`` how many
+    evaluation windows were skipped because the deployment was empty --
+    skipped windows contribute to no retention denominator, so the pair
+    keeps the reported percentages honest.
+    """
 
     regime: str
     retention_percent: dict  # configuration name -> percent
     windows: int
+    skipped: int = 0
 
 
 def speed_range_in_sides(speed_range_mps, side_meters=SQUARE_SIDE_METERS):
@@ -54,11 +78,14 @@ def speed_range_in_sides(speed_range_mps, side_meters=SQUARE_SIDE_METERS):
 
 
 def run_mobility_trace(regime, preset, radius=0.1, rng=None,
-                       configurations=None, model_factory=None):
+                       configurations=None, model_factory=None,
+                       dynamics="delta"):
     """One mobility trace, evaluated under each configuration.
 
     ``model_factory(count, speed_range_sides, rng)`` builds the mobility
-    model (default: random direction).
+    model (default: random direction).  ``dynamics`` selects the
+    delta-maintained fast path or the scratch rebuild oracle; both return
+    bit-identical runs.
     """
     preset = get_preset(preset)
     rng = as_rng(rng)
@@ -68,24 +95,26 @@ def run_mobility_trace(regime, preset, radius=0.1, rng=None,
         def model_factory(count, speeds, model_rng):
             return RandomDirectionModel(count, speeds, rng=model_rng)
     model = model_factory(preset.mobility_nodes, speed_range, rng)
-
-    state = {name: {"previous": None, "dag_ids": None, "series":
-                    RetentionSeries()} for name in configurations}
     windows = int(round(preset.mobility_duration / preset.mobility_window))
-    dag_ids = None
+
+    if dynamics == "delta":
+        evaluate = _DeltaTraceEvaluator(radius, configurations, rng)
+    elif dynamics == "rebuild":
+        evaluate = _RebuildTraceEvaluator(radius, configurations, rng)
+    else:
+        raise ConfigurationError(
+            f"unknown dynamics {dynamics!r}; expected 'delta' or 'rebuild'")
+
+    state = {name: {"previous": None, "series": RetentionSeries()}
+             for name in configurations}
+    skipped = 0
     for _ in range(windows + 1):
-        topology = topology_at(model.positions, radius)
-        if len(topology.graph) == 0:
+        if len(model.positions) == 0:
+            skipped += 1
             model.advance(preset.mobility_window)
             continue
-        # DAG names persist across windows; repair conflicts incrementally.
-        dag_ids, _rounds = assign_dag_ids(topology, rng, initial_ids=dag_ids)
-        for name, options in configurations.items():
+        for name, clustering in evaluate(model.positions, state):
             run_state = state[name]
-            clustering, _ = clustered(
-                topology, use_dag=True, dag_ids=dag_ids,
-                order=options["order"], fusion=options["fusion"],
-                previous=run_state["previous"])
             if run_state["previous"] is not None:
                 run_state["series"].observe(run_state["previous"].heads,
                                             clustering.heads)
@@ -96,7 +125,103 @@ def run_mobility_trace(regime, preset, radius=0.1, rng=None,
         retention_percent={name: run_state["series"].percent
                            for name, run_state in state.items()},
         windows=windows,
+        skipped=skipped,
     )
+
+
+class _RebuildTraceEvaluator:
+    """The scratch per-window pipeline (reference oracle)."""
+
+    def __init__(self, radius, configurations, rng):
+        self.radius = radius
+        self.configurations = configurations
+        self.rng = rng
+        self.dag_ids = None
+
+    def __call__(self, positions, state):
+        topology = topology_at(positions, self.radius)
+        # DAG names persist across windows; repair conflicts incrementally.
+        self.dag_ids, _rounds = assign_dag_ids(topology, self.rng,
+                                               initial_ids=self.dag_ids)
+        for name, options in self.configurations.items():
+            clustering, _ = clustered(
+                topology, use_dag=True, dag_ids=self.dag_ids,
+                order=options["order"], fusion=options["fusion"],
+                previous=state[name]["previous"])
+            yield name, clustering
+
+
+class _DeltaTraceEvaluator:
+    """The delta-maintained per-window pipeline.
+
+    Keeps the :class:`DynamicTopology` and one election engine per
+    configuration alive across windows; re-runs the polite renaming only
+    when an added edge collides two persisted DAG names (the scratch
+    path's only redraw trigger, so RNG consumption matches draw for
+    draw).
+    """
+
+    def __init__(self, radius, configurations, rng):
+        self.radius = radius
+        self.configurations = configurations
+        self.rng = rng
+        self.dag_ids = None
+        self.dynamic = None
+        self.engines = {name: IncrementalElection(order=options["order"],
+                                                  fusion=options["fusion"])
+                        for name, options in configurations.items()}
+
+    def __call__(self, positions, state):
+        if self.dynamic is None or len(self.dynamic.graph) != len(positions):
+            # First (non-empty) window, or a model that changed its
+            # population: seed the maintained state from scratch.  With
+            # persisted names and a changed population the repair below
+            # raises exactly as the scratch path's assign_dag_ids does.
+            self.dynamic = DynamicTopology(positions, self.radius)
+            topology = self.dynamic.topology
+            delta = None
+            density_changed = None
+            graph_changed = True
+        else:
+            update = self.dynamic.move(positions)
+            topology = update.topology
+            delta = update.delta
+            density_changed = update.density_changed
+            graph_changed = bool(delta)
+        dag_changed = self._repair_names(topology, delta)
+        for name in self.configurations:
+            clustering = self.engines[name].update(
+                topology.graph, self.dynamic.densities,
+                tie_ids=topology.ids, dag_ids=self.dag_ids,
+                previous=state[name]["previous"],
+                density_changed=density_changed,
+                graph_changed=graph_changed, dag_changed=dag_changed)
+            yield name, clustering
+
+    def _repair_names(self, topology, delta):
+        """Keep ``dag_ids`` exactly as the per-window scratch repair would.
+
+        Names only change when two neighbors collide; with persisted
+        names and an exact edge delta, a new collision can only ride an
+        added edge, and a window without collisions consumes no RNG on
+        the scratch path either -- so skipping the no-op repair keeps
+        the random stream (and therefore every later redraw) identical.
+        """
+        if self.dag_ids is None:
+            self.dag_ids, _rounds = assign_dag_ids(topology, self.rng)
+            return True
+        dag_ids = self.dag_ids
+        if delta is None:
+            # Re-seeded mid-trace: run the full repair (which rejects a
+            # changed population exactly as the scratch path does).
+            self.dag_ids, _rounds = assign_dag_ids(topology, self.rng,
+                                                   initial_ids=dag_ids)
+            return True
+        if any(dag_ids[u] == dag_ids[v] for u, v in delta.added.tolist()):
+            self.dag_ids, _rounds = assign_dag_ids(topology, self.rng,
+                                                   initial_ids=dag_ids)
+            return True
+        return False
 
 
 def _run_one(task):

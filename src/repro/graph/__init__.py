@@ -18,6 +18,13 @@ from repro.graph.geometry import (
     unit_disk_graph,
 )
 from repro.graph.csr import CSRAdjacency
+from repro.graph.dynamic import (
+    DynamicTopology,
+    DynamicUnitDisk,
+    EdgeDelta,
+    TriangleCounter,
+    WindowUpdate,
+)
 from repro.graph.graph import Graph
 from repro.graph.quasi_udg import quasi_uniform_topology, quasi_unit_disk_graph
 from repro.graph.paths import (
@@ -41,8 +48,13 @@ from repro.graph.traversal import (
 
 __all__ = [
     "CSRAdjacency",
+    "DynamicTopology",
+    "DynamicUnitDisk",
+    "EdgeDelta",
     "Graph",
     "Topology",
+    "TriangleCounter",
+    "WindowUpdate",
     "INFINITY",
     "bfs_distances",
     "bfs_distances_reference",

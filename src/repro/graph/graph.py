@@ -191,6 +191,51 @@ class Graph:
             raise TopologyError(f"edge ({u!r}, {v!r}) not in graph") from None
         self._csr = None
 
+    def apply_edge_delta(self, added=(), removed=(), observer=None):
+        """Apply an exact undirected edge delta: removals, then additions.
+
+        ``added`` / ``removed`` are ``(k, 2)`` integer arrays or iterables of
+        ``(u, v)`` pairs whose endpoints must already be nodes of the graph
+        (node churn goes through :meth:`add_node` / :meth:`remove_node`).
+        A delta is an exact set difference, not an idempotent merge: every
+        removed edge must exist and every added edge must be absent, so a
+        stale delta fails loudly instead of silently desynchronizing the
+        maintained state.
+
+        ``observer`` hooks incremental analytics into the mutation sequence
+        (the dynamic subsystem's triangle counter rides this): for each
+        removal, ``observer.edge_removed(graph, u, v)`` runs while the edge
+        is still present; for each addition, ``observer.edge_added(graph,
+        u, v)`` runs once the edge is in place.  The CSR snapshot is
+        invalidated once for the whole batch.
+        """
+        self._csr = None
+        adj = self._adj
+        if isinstance(removed, np.ndarray):
+            removed = removed.tolist()
+        for u, v in removed:
+            if u not in adj or v not in adj[u]:
+                raise TopologyError(f"edge ({u!r}, {v!r}) not in graph")
+            if observer is not None:
+                observer.edge_removed(self, u, v)
+            adj[u].remove(v)
+            adj[v].remove(u)
+        if isinstance(added, np.ndarray):
+            added = added.tolist()
+        for u, v in added:
+            if u == v:
+                raise TopologyError(f"self-loop on node {u!r} is not allowed")
+            if u not in adj or v not in adj:
+                missing = u if u not in adj else v
+                raise TopologyError(f"node {missing!r} not in graph")
+            if v in adj[u]:
+                raise TopologyError(
+                    f"edge ({u!r}, {v!r}) already in graph; deltas are exact")
+            adj[u].add(v)
+            adj[v].add(u)
+            if observer is not None:
+                observer.edge_added(self, u, v)
+
     def remove_node(self, node):
         """Remove ``node`` and all its incident edges."""
         if node not in self._adj:
@@ -265,6 +310,22 @@ class Graph:
             self._csr = CSRAdjacency.from_dict(self._adj)
         return self._csr
 
+    def adopt_csr(self, csr):
+        """Install an externally built snapshot as the CSR cache.
+
+        The dynamic subsystem rebuilds snapshots from its maintained edge
+        arrays (an O(m) argsort) instead of the O(m) Python translation of
+        :meth:`CSRAdjacency.from_dict`; this hands the result back to the
+        graph so every snapshot consumer sees it.  The caller guarantees
+        the snapshot describes the current adjacency -- node count and
+        edge count are cross-checked here as a cheap guard, the full
+        equivalence is the property suite's job.
+        """
+        if len(csr) != len(self._adj) or csr.edge_count() != self.edge_count():
+            raise TopologyError(
+                "adopted CSR snapshot does not match the graph's shape")
+        self._csr = csr
+
     def has_edge(self, u, v):
         """True iff the undirected edge ``{u, v}`` exists."""
         return u in self._adj and v in self._adj[u]
@@ -274,6 +335,20 @@ class Graph:
         if node not in self._adj:
             raise TopologyError(f"node {node!r} not in graph")
         return set(self._adj[node])
+
+    def common_neighbors(self, u, v):
+        """``Nu ∩ Nv``: nodes adjacent to both ``u`` and ``v``.
+
+        One set intersection over the internal adjacency (no copies of the
+        full neighborhoods); each endpoint is excluded automatically since
+        ``p not in Np``.  The triangle-delta maintenance of
+        :mod:`repro.graph.dynamic` calls this once per changed edge.
+        """
+        try:
+            return self._adj[u] & self._adj[v]
+        except KeyError:
+            missing = u if u not in self._adj else v
+            raise TopologyError(f"node {missing!r} not in graph") from None
 
     def closed_neighbors(self, node):
         """``{p} ∪ Np``: node plus its 1-neighborhood."""

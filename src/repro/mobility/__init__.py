@@ -4,7 +4,13 @@ from repro.mobility.base import MobilityModel
 from repro.mobility.churn import ChurnProcess
 from repro.mobility.random_direction import RandomDirectionModel
 from repro.mobility.random_waypoint import RandomWaypointModel
-from repro.mobility.trace import Trace, TraceFrame, record_trace, topology_at
+from repro.mobility.trace import (
+    Trace,
+    TraceFrame,
+    record_trace,
+    topology_at,
+    topology_stream,
+)
 
 __all__ = [
     "ChurnProcess",
@@ -15,4 +21,5 @@ __all__ = [
     "TraceFrame",
     "record_trace",
     "topology_at",
+    "topology_stream",
 ]

@@ -1,9 +1,17 @@
-"""Mobility traces: positions over time and per-window topologies."""
+"""Mobility traces: positions over time and per-window topologies.
+
+Two replay paths exist.  :func:`topology_at` rebuilds a snapshot from
+scratch per window (the reference oracle); :func:`topology_stream`
+maintains one :class:`~repro.graph.dynamic.DynamicTopology` across the
+whole sequence, so each window costs only its edge delta.  Both produce
+identical topologies window for window.
+"""
 
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graph.dynamic import DynamicTopology
 from repro.graph.generators import Topology
 from repro.graph.geometry import unit_disk_graph
 from repro.util.errors import ConfigurationError
@@ -17,6 +25,25 @@ def topology_at(positions, radius, ids=None):
     graph, positions_by_id = unit_disk_graph(positions, radius,
                                              node_ids=node_ids)
     return Topology(graph, positions=positions_by_id, radius=radius)
+
+
+def topology_stream(position_snapshots, radius, ids=None):
+    """Yield one Topology per ``(n, 2)`` position snapshot, delta-based.
+
+    Equivalent to calling :func:`topology_at` per snapshot, but the
+    unit-disk structure is maintained incrementally: every yielded
+    Topology wraps the *same* live graph, mutated by exact edge deltas
+    between snapshots.  Consume each topology before advancing the
+    generator (as the experiment loops do) -- metrics read later see the
+    latest window, exactly like a real deployment's current view.
+    """
+    dynamic = None
+    for positions in position_snapshots:
+        if dynamic is None:
+            dynamic = DynamicTopology(positions, radius, ids=ids)
+            yield dynamic.topology
+        else:
+            yield dynamic.move(positions).topology
 
 
 @dataclass(frozen=True)
@@ -44,10 +71,26 @@ class Trace:
     def __iter__(self):
         return iter(self.frames)
 
-    def topologies(self, radius):
-        """Yield ``(time, Topology)`` per frame."""
-        for frame in self.frames:
-            yield frame.time, topology_at(frame.positions, radius)
+    def topologies(self, radius, dynamics="rebuild"):
+        """Yield ``(time, Topology)`` per frame.
+
+        ``dynamics="delta"`` replays through :func:`topology_stream`
+        (same topologies, maintained incrementally; the yielded objects
+        share one live graph) -- the right choice for window-by-window
+        consumers.  The default rebuilds independent snapshots.
+        """
+        if dynamics == "rebuild":
+            for frame in self.frames:
+                yield frame.time, topology_at(frame.positions, radius)
+        elif dynamics == "delta":
+            snapshots = (frame.positions for frame in self.frames)
+            for frame, topology in zip(self.frames,
+                                       topology_stream(snapshots, radius)):
+                yield frame.time, topology
+        else:
+            raise ConfigurationError(
+                f"unknown dynamics {dynamics!r}; expected 'delta' or "
+                "'rebuild'")
 
 
 def record_trace(model, duration, window):

@@ -20,6 +20,8 @@ reuses :func:`new_id`.
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.naming.namespace import NameSpace, recommended_size
 from repro.util.errors import ConfigurationError, ConvergenceError
 from repro.util.rng import as_rng
@@ -41,7 +43,25 @@ def conflicting_edges(graph, ids):
 
 def is_locally_unique(graph, ids):
     """True iff no two neighbors share a DAG name (the legitimacy predicate
-    of the naming layer)."""
+    of the naming layer).
+
+    Checked on the graph's CSR snapshot when available: one vectorized
+    name comparison over the edge arrays instead of the per-edge Python
+    scan of :func:`conflicting_edges` -- the per-window mobility repair
+    evaluates this on every (re)named topology, so it sits on the hot
+    path.  Non-integer names (or graphs without a snapshot) fall back to
+    the reference scan, which always remains the oracle.
+    """
+    to_csr = getattr(graph, "to_csr", None)
+    if to_csr is not None:
+        csr = to_csr()
+        # np.array (not fromiter) so nothing is silently cast: floats,
+        # mixed types, and over-int64 names all land on a non-integer
+        # dtype and take the reference scan instead.
+        names = np.array([ids[node] for node in csr.ids])
+        if names.dtype.kind in "iu":
+            eu, ev = csr.edge_arrays()
+            return not bool((names[eu] == names[ev]).any())
     return not conflicting_edges(graph, ids)
 
 

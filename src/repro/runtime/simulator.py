@@ -41,6 +41,7 @@ class StepSimulator:
         self.now = 0
         self.traffic = TrafficStats()
         self._cache_timeout = cache_timeout
+        self._activation_order = None
         self.runtimes = {}
         for node in topology.graph:
             runtime = NodeRuntime(node_id=node, tie_id=topology.ids[node],
@@ -87,6 +88,9 @@ class StepSimulator:
             self.runtimes[node] = runtime
         for node in new_nodes & old_nodes:
             self.runtimes[node].tie_id = topology.ids[node]
+        # Membership or tie identifiers may have changed; the next step
+        # recomputes the activation order.
+        self._activation_order = None
 
     # ------------------------------------------------------------------
     # execution
@@ -109,7 +113,15 @@ class StepSimulator:
             runtime.expire_caches(self.now)
         fired = {}
         activated = self.daemon.select(self.runtimes, self.rng)
-        for node in sorted(self.runtimes, key=lambda n: self.runtimes[n].tie_id):
+        order = self._activation_order
+        if order is None:
+            # Node membership and tie identifiers change only through
+            # set_topology / replace_topology (which invalidate this), so
+            # the per-step re-sort collapses to one cached list.
+            order = sorted(self.runtimes,
+                           key=lambda n: self.runtimes[n].tie_id)
+            self._activation_order = order
+        for node in order:
             if node in activated:
                 fired[node] = self._program.execute(self.runtimes[node],
                                                     self.rng)

@@ -1,5 +1,6 @@
 """Smoke and shape tests for the experiment runners (tiny presets)."""
 
+import numpy as np
 import pytest
 
 from repro.experiments.common import Preset, get_preset
@@ -87,11 +88,63 @@ class TestMobility:
             outcome.retention_percent["basic"] - 5.0
         assert 0 <= outcome.retention_percent["basic"] <= 100
 
+    @pytest.mark.parametrize("regime", ["pedestrian", "vehicular"])
+    def test_delta_and_rebuild_runs_are_bit_identical(self, regime):
+        delta = run_mobility_trace(regime, TINY, radius=0.3, rng=7,
+                                   dynamics="delta")
+        rebuild = run_mobility_trace(regime, TINY, radius=0.3, rng=7,
+                                     dynamics="rebuild")
+        assert delta == rebuild
+
+    def test_unknown_dynamics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_mobility_trace("pedestrian", TINY, radius=0.3, rng=7,
+                               dynamics="telepathy")
+
+    def test_empty_windows_are_recorded_as_skipped(self):
+        class EmptyThenSome:
+            """0 nodes for two windows, then a fixed 3-node deployment."""
+
+            def __init__(self):
+                self.calls = 0
+                self.positions = np.zeros((0, 2))
+
+            def advance(self, _dt):
+                self.calls += 1
+                if self.calls >= 2:
+                    self.positions = np.array(
+                        [[0.1, 0.1], [0.15, 0.1], [0.9, 0.9]])
+
+        for dynamics in ("delta", "rebuild"):
+            outcome = run_mobility_trace(
+                "pedestrian", TINY, radius=0.3, rng=8,
+                model_factory=lambda count, speeds, rng: EmptyThenSome(),
+                dynamics=dynamics)
+            assert outcome.windows == 4
+            assert outcome.skipped == 2
+
     def test_pedestrian_more_stable_than_vehicular(self):
         slow = run_mobility_trace("pedestrian", TINY, radius=0.3, rng=5)
         fast = run_mobility_trace("vehicular", TINY, radius=0.3, rng=5)
         assert slow.retention_percent["improved"] >= \
             fast.retention_percent["improved"]
+
+
+class TestChurnDynamics:
+    def test_delta_and_rebuild_epochs_are_bit_identical(self):
+        from repro.experiments.churn import run_churn_epochs
+        for leave, arrive in ((0.0, 0.0), (0.1, 4.0)):
+            delta = run_churn_epochs(30, 0.25, leave, arrive, epochs=5,
+                                     rng=14, dynamics="delta")
+            rebuild = run_churn_epochs(30, 0.25, leave, arrive, epochs=5,
+                                       rng=14, dynamics="rebuild")
+            assert delta == rebuild
+
+    def test_unknown_dynamics_rejected(self):
+        from repro.experiments.churn import run_churn_epochs
+        with pytest.raises(ConfigurationError):
+            run_churn_epochs(10, 0.25, 0.1, 1.0, epochs=1, rng=1,
+                             dynamics="teleport")
 
 
 class TestComparison:

@@ -1,0 +1,313 @@
+"""Unit tests for the delta-based dynamic topology subsystem."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.clustering.density import all_densities
+from repro.graph.dynamic import (
+    DynamicTopology,
+    DynamicUnitDisk,
+    TriangleCounter,
+)
+from repro.graph.geometry import pairs_within_range
+from repro.graph.graph import Graph
+from repro.util.errors import ConfigurationError, TopologyError
+
+
+def edge_set(graph):
+    return {frozenset(edge) for edge in graph.edges}
+
+
+def scratch_edges(positions, radius):
+    return {frozenset(pair)
+            for pair in pairs_within_range(np.asarray(positions, float),
+                                           radius).tolist()}
+
+
+def disk_edges(disk):
+    return {frozenset(pair) for pair in disk.edge_index_pairs().tolist()}
+
+
+def walk(rng, positions, scale):
+    step = rng.uniform(-scale, scale, size=positions.shape)
+    return np.clip(positions + step, 0.0, 1.0)
+
+
+class TestDynamicUnitDisk:
+    def test_initial_edges_match_scratch(self):
+        rng = np.random.default_rng(1)
+        positions = rng.uniform(0, 1, size=(80, 2))
+        disk = DynamicUnitDisk(positions, 0.2)
+        assert disk_edges(disk) == scratch_edges(positions, 0.2)
+
+    @pytest.mark.parametrize("scale", [0.005, 0.05, 0.4])
+    def test_moves_track_scratch_at_any_step_size(self, scale):
+        # Small steps exercise the in-place candidate re-evaluation, large
+        # ones the drift-triggered grid re-join; both must stay exact.
+        rng = np.random.default_rng(2)
+        positions = rng.uniform(0, 1, size=(60, 2))
+        disk = DynamicUnitDisk(positions, 0.15)
+        for _ in range(12):
+            positions = walk(rng, positions, scale)
+            disk.move(positions)
+            assert disk_edges(disk) == scratch_edges(positions, 0.15)
+
+    def test_move_returns_exact_delta(self):
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0, 1, size=(50, 2))
+        disk = DynamicUnitDisk(positions, 0.2)
+        before = disk_edges(disk)
+        moved = walk(rng, positions, 0.02)
+        delta = disk.move(moved)
+        after = disk_edges(disk)
+        assert {frozenset(p) for p in delta.added.tolist()} == after - before
+        assert {frozenset(p) for p in delta.removed.tolist()} == before - after
+
+    def test_empty_move_is_empty_delta(self):
+        rng = np.random.default_rng(4)
+        positions = rng.uniform(0, 1, size=(30, 2))
+        disk = DynamicUnitDisk(positions, 0.2)
+        delta = disk.move(positions.copy())
+        assert not delta
+        assert delta.size == 0
+
+    def test_partial_movers_only_touch_their_pairs(self):
+        rng = np.random.default_rng(5)
+        positions = rng.uniform(0, 1, size=(100, 2))
+        disk = DynamicUnitDisk(positions, 0.12)
+        moved = positions.copy()
+        moved[3] = (0.5, 0.5)
+        delta = disk.move(moved)
+        touched = set(delta.added.flatten().tolist()
+                      + delta.removed.flatten().tolist())
+        assert touched <= {3} | touched  # delta rows involve node 3
+        for pair in np.concatenate((delta.added, delta.removed)).tolist():
+            assert 3 in pair
+        assert disk_edges(disk) == scratch_edges(moved, 0.12)
+
+    def test_churn_tracks_scratch(self):
+        rng = np.random.default_rng(6)
+        positions = rng.uniform(0, 1, size=(40, 2))
+        disk = DynamicUnitDisk(positions, 0.25)
+        delta = disk.apply_churn(departed=[0, 7],
+                                 arrivals=[(40, (0.5, 0.5)),
+                                           (41, (0.51, 0.5))])
+        kept = [i for i in range(40) if i not in (0, 7)]
+        expect_pos = np.concatenate((positions[kept],
+                                     [[0.5, 0.5], [0.51, 0.5]]))
+        expect_ids = kept + [40, 41]
+        expected = {frozenset((expect_ids[i], expect_ids[j]))
+                    for i, j in pairs_within_range(expect_pos, 0.25).tolist()}
+        got = {frozenset((disk.ids[i], disk.ids[j]))
+               for i, j in disk.edge_index_pairs().tolist()}
+        assert got == expected
+        assert frozenset((40, 41)) in {frozenset(p)
+                                       for p in delta.added.tolist()}
+        assert disk.ids == expect_ids
+
+    def test_churn_validation(self):
+        disk = DynamicUnitDisk([(0.1, 0.1), (0.2, 0.2)], 0.3)
+        with pytest.raises(ConfigurationError):
+            disk.apply_churn(departed=[9])
+        with pytest.raises(ConfigurationError):
+            disk.apply_churn(arrivals=[(1, (0.5, 0.5))])
+
+    def test_move_rejects_changed_population(self):
+        disk = DynamicUnitDisk([(0.1, 0.1), (0.2, 0.2)], 0.3)
+        with pytest.raises(ConfigurationError):
+            disk.move(np.zeros((3, 2)))
+
+    def test_identifier_validation(self):
+        with pytest.raises(ConfigurationError):
+            DynamicUnitDisk([(0, 0), (1, 1)], 0.1, ids=[1, 1])
+        with pytest.raises(ConfigurationError):
+            DynamicUnitDisk([(0, 0), (1, 1)], 0.1, ids=[-1, 2])
+        with pytest.raises(ConfigurationError):
+            DynamicUnitDisk([(0, 0)], 0.0)
+
+    def test_tiny_populations(self):
+        assert DynamicUnitDisk(np.empty((0, 2)), 0.1).edge_count() == 0
+        one = DynamicUnitDisk([(0.5, 0.5)], 0.1)
+        assert one.edge_count() == 0
+        assert not one.move(np.array([[0.6, 0.6]]))
+
+
+class TestGraphEdgeDelta:
+    def build(self):
+        return Graph(nodes=range(5), edges=[(0, 1), (1, 2), (2, 3)])
+
+    def test_apply_edge_delta(self):
+        graph = self.build()
+        graph.apply_edge_delta(added=[(3, 4), (0, 2)], removed=[(1, 2)])
+        assert edge_set(graph) == {frozenset(e) for e in
+                                   [(0, 1), (2, 3), (3, 4), (0, 2)]}
+        graph.check_symmetry()
+
+    def test_array_delta(self):
+        graph = self.build()
+        graph.apply_edge_delta(added=np.array([[3, 4]]),
+                               removed=np.array([[0, 1]]))
+        assert graph.has_edge(3, 4) and not graph.has_edge(0, 1)
+
+    def test_removing_missing_edge_fails(self):
+        with pytest.raises(TopologyError):
+            self.build().apply_edge_delta(removed=[(0, 3)])
+
+    def test_adding_existing_edge_fails(self):
+        with pytest.raises(TopologyError):
+            self.build().apply_edge_delta(added=[(0, 1)])
+
+    def test_adding_self_loop_or_unknown_node_fails(self):
+        with pytest.raises(TopologyError):
+            self.build().apply_edge_delta(added=[(2, 2)])
+        with pytest.raises(TopologyError):
+            self.build().apply_edge_delta(added=[(0, 9)])
+
+    def test_observer_sequencing(self):
+        events = []
+
+        class Observer:
+            def edge_removed(self, graph, u, v):
+                events.append(("removed", u, v, graph.has_edge(u, v)))
+
+            def edge_added(self, graph, u, v):
+                events.append(("added", u, v, graph.has_edge(u, v)))
+
+        graph = self.build()
+        graph.apply_edge_delta(added=[(0, 3)], removed=[(0, 1)],
+                               observer=Observer())
+        # Removal observed while present, addition once in place.
+        assert events == [("removed", 0, 1, True), ("added", 0, 3, True)]
+
+    def test_common_neighbors(self):
+        graph = Graph(nodes=range(4), edges=[(0, 1), (0, 2), (1, 2), (1, 3)])
+        assert graph.common_neighbors(0, 1) == {2}
+        assert graph.common_neighbors(2, 3) == {1}
+        with pytest.raises(TopologyError):
+            graph.common_neighbors(0, 9)
+
+    def test_adopt_csr_shape_guard(self):
+        graph = self.build()
+        other = Graph(nodes=range(3), edges=[(0, 1)])
+        with pytest.raises(TopologyError):
+            graph.adopt_csr(other.to_csr())
+        graph.adopt_csr(self.build().to_csr())
+
+
+class TestTriangleCounter:
+    def kernel_counts(self, graph):
+        csr = Graph(nodes=graph.nodes, edges=graph.edges).to_csr()
+        return dict(zip(csr.ids, csr.triangle_counts().tolist()))
+
+    def test_tracks_kernel_under_deltas(self):
+        rng = np.random.default_rng(7)
+        graph = Graph(nodes=range(12))
+        counter = TriangleCounter(graph)
+        present = set()
+        universe = [(u, v) for u in range(12) for v in range(u + 1, 12)]
+        for _ in range(200):
+            u, v = universe[int(rng.integers(len(universe)))]
+            if frozenset((u, v)) in present:
+                graph.apply_edge_delta(removed=[(u, v)], observer=counter)
+                present.discard(frozenset((u, v)))
+            else:
+                graph.apply_edge_delta(added=[(u, v)], observer=counter)
+                present.add(frozenset((u, v)))
+            assert counter.counts == self.kernel_counts(graph)
+
+    def test_dirty_set_covers_changed_counts(self):
+        graph = Graph(nodes=range(4), edges=[(0, 1), (1, 2), (0, 2)])
+        counter = TriangleCounter(graph)
+        counter.pop_dirty()
+        graph.apply_edge_delta(added=[(2, 3)], observer=counter)
+        assert counter.pop_dirty() == set()  # no triangle closed
+        graph.apply_edge_delta(added=[(1, 3)], observer=counter)
+        assert counter.pop_dirty() == {1, 2, 3}
+
+    def test_recount_marks_changes(self):
+        graph = Graph(nodes=range(4), edges=[(0, 1), (1, 2), (0, 2)])
+        counter = TriangleCounter(graph)
+        graph.apply_edge_delta(added=[(1, 3), (2, 3)])  # no observer
+        counter.recount(graph)
+        assert counter.counts == self.kernel_counts(graph)
+        assert counter.pop_dirty() == {1, 2, 3}
+
+    def test_node_lifecycle(self):
+        graph = Graph(nodes=range(3), edges=[(0, 1)])
+        counter = TriangleCounter(graph)
+        counter.node_added(3)
+        assert counter.counts[3] == 0
+        with pytest.raises(TopologyError):
+            counter.node_added(0)
+        counter.node_removed(3)
+        assert 3 not in counter.counts
+
+
+class TestDynamicTopology:
+    def assert_matches_scratch(self, dynamic):
+        positions = np.array([dynamic.topology.positions[node]
+                              for node in dynamic.graph.nodes])
+        scratch = scratch_edges(positions, dynamic.radius)
+        ids = dynamic.graph.nodes
+        got = {frozenset((ids[i], ids[j])) for i, j in
+               dynamic._disk.edge_index_pairs().tolist()}
+        assert edge_set(dynamic.graph) == got
+        assert dynamic.densities == all_densities(dynamic.graph, exact=True)
+        assert all(isinstance(value, Fraction)
+                   for value in dynamic.densities.values())
+
+    def test_moves_maintain_graph_and_densities(self):
+        rng = np.random.default_rng(8)
+        positions = rng.uniform(0, 1, size=(70, 2))
+        dynamic = DynamicTopology(positions, 0.15)
+        for _ in range(8):
+            positions = walk(rng, positions, 0.02)
+            update = dynamic.move(positions)
+            assert update.topology.graph is dynamic.graph
+            self.assert_matches_scratch(dynamic)
+
+    def test_bulk_delta_recount_path(self):
+        rng = np.random.default_rng(9)
+        positions = rng.uniform(0, 1, size=(50, 2))
+        # recount_fraction so aggressive every non-empty delta recounts.
+        dynamic = DynamicTopology(positions, 0.2, recount_fraction=10 ** 6)
+        positions = rng.uniform(0, 1, size=(50, 2))  # teleport all nodes
+        dynamic.move(positions)
+        self.assert_matches_scratch(dynamic)
+
+    def test_density_changed_is_conservative_superset(self):
+        rng = np.random.default_rng(10)
+        positions = rng.uniform(0, 1, size=(60, 2))
+        dynamic = DynamicTopology(positions, 0.18)
+        before = dict(dynamic.densities)
+        update = dynamic.move(walk(rng, positions, 0.01))
+        changed = {node for node in dynamic.graph
+                   if dynamic.densities[node] != before[node]}
+        assert changed <= update.density_changed
+
+    def test_heavy_churn_recount_path(self):
+        # Replacing most of the population trips the bulk-recount branch;
+        # the state must stay exact either way.
+        rng = np.random.default_rng(12)
+        positions = rng.uniform(0, 1, size=(20, 2))
+        dynamic = DynamicTopology(positions, 0.3, recount_fraction=10 ** 6)
+        dynamic.apply_churn(
+            departed=list(range(15)),
+            arrivals=[(20 + i, tuple(rng.uniform(0, 1, size=2)))
+                      for i in range(12)])
+        self.assert_matches_scratch(dynamic)
+        assert dynamic.triangles.counts.keys() == set(dynamic.graph.nodes)
+
+    def test_churn_maintains_everything(self):
+        rng = np.random.default_rng(11)
+        positions = rng.uniform(0, 1, size=(30, 2))
+        dynamic = DynamicTopology(positions, 0.25)
+        update = dynamic.apply_churn(
+            departed=[2, 17], arrivals=[(30, (0.4, 0.4)), (31, (0.9, 0.1))])
+        assert 2 not in dynamic.graph and 30 in dynamic.graph
+        assert set(update.topology.graph.nodes) == set(dynamic.densities)
+        self.assert_matches_scratch(dynamic)
+        # Node order stays ascending (the simulators' determinism rides it).
+        assert dynamic.graph.nodes == sorted(dynamic.graph.nodes)

@@ -51,6 +51,36 @@ class TestChurnProcess:
         with pytest.raises(ConfigurationError):
             ChurnProcess(5, 0.2, 0.1, -1.0)
 
+    def test_bare_epoch_rejected_once_dynamics_attached(self):
+        process = ChurnProcess(10, 0.3, 0.2, 1.0, rng=32)
+        process.epoch()  # fine before any dynamic view exists
+        process.dynamics()
+        with pytest.raises(ConfigurationError):
+            process.epoch()
+        process.epoch_update()  # the sanctioned path still works
+
+    def test_dynamics_tracks_scratch_across_epochs(self):
+        # Two processes with identical RNG streams: one rebuilds every
+        # epoch, the other maintains the delta topology.  Graphs, node
+        # order, positions, and CSR layout must match bit for bit.
+        scratch = ChurnProcess(25, 0.3, 0.2, 4.0, rng=31)
+        delta = ChurnProcess(25, 0.3, 0.2, 4.0, rng=31)
+        delta.dynamics()
+        for _ in range(6):
+            scratch.epoch()
+            update = delta.epoch_update()
+            reference = scratch.topology()
+            maintained = update.topology
+            assert maintained.graph.nodes == reference.graph.nodes
+            assert {frozenset(e) for e in maintained.graph.edges} == \
+                {frozenset(e) for e in reference.graph.edges}
+            assert maintained.positions == reference.positions
+            ours, theirs = (maintained.graph.to_csr(),
+                            reference.graph.to_csr())
+            assert ours.ids == theirs.ids
+            assert (ours.indptr == theirs.indptr).all()
+            assert (ours.indices == theirs.indices).all()
+
 
 class TestDynamicNodeSets:
     def test_set_topology_adds_and_removes_runtimes(self):

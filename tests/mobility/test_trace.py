@@ -48,6 +48,24 @@ class TestRecordTrace:
         with pytest.raises(ConfigurationError):
             record_trace(model, duration=4.0, window=0.0)
 
+    def test_delta_replay_matches_rebuild(self):
+        model = RandomDirectionModel(25, speed_range=(0.005, 0.02), rng=5)
+        trace = record_trace(model, duration=10.0, window=2.0)
+        rebuilt = list(trace.topologies(radius=0.25))
+        replayed = trace.topologies(radius=0.25, dynamics="delta")
+        for (t_a, a), (t_b, b) in zip(rebuilt, replayed):
+            assert t_a == t_b
+            assert a.graph.nodes == b.graph.nodes
+            assert {frozenset(e) for e in a.graph.edges} == \
+                {frozenset(e) for e in b.graph.edges}
+            assert a.positions == b.positions
+
+    def test_rejects_unknown_dynamics(self):
+        model = RandomDirectionModel(5, speed_range=(0, 0.01), rng=6)
+        trace = record_trace(model, duration=2.0, window=2.0)
+        with pytest.raises(ConfigurationError):
+            list(trace.topologies(radius=0.2, dynamics="psychic"))
+
 
 class TestTrace:
     def test_requires_frames(self):

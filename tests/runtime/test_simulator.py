@@ -127,6 +127,24 @@ class TestTopologyReplacement:
         sim.run(3)
         assert sim.runtime(0).known_neighbors() == set()
 
+    def test_activation_order_cached_and_invalidated(self):
+        from repro.graph.generators import Topology
+        from repro.graph.graph import Graph
+        sim = StepSimulator(line_topology(3), CountingProtocol(), rng=0)
+        sim.step()
+        assert sim._activation_order == [0, 1, 2]
+        cached = sim._activation_order
+        sim.step()
+        assert sim._activation_order is cached  # no per-step re-sort
+        # New tie identifiers must reorder activations on the next step.
+        reordered = Topology(Graph(nodes=[0, 1, 2],
+                                   edges=[(0, 1), (1, 2)]),
+                             ids={0: 9, 1: 5, 2: 1})
+        sim.replace_topology(reordered)
+        assert sim._activation_order is None
+        sim.step()
+        assert sim._activation_order == [2, 1, 0]
+
 
 class TestCorruption:
     def test_corrupt_all_nodes(self):
