@@ -1,0 +1,160 @@
+"""CI benchmark gate: completeness, speedup floors, and regressions.
+
+Usage::
+
+    python benchmarks/regression_gate.py BENCH_baseline.json BENCH_ci.json \
+        [--threshold 0.25]
+
+Three checks, all loud:
+
+1. **Completeness** -- the fresh artifact must contain every required
+   hot-path bench (an empty or silently truncated artifact fails).
+2. **Speedup floors** -- structural ratios inside the fresh artifact
+   (e.g. the 5000-node mobility delta path vs the rebuild reference)
+   must hold regardless of machine speed.
+3. **Regression gate** -- every required bench is compared against the
+   committed baseline, *normalized by the calibration bench* recorded in
+   both artifacts so a slower CI machine does not read as a code
+   regression.  Any hot path more than ``--threshold`` (default 25%)
+   slower than baseline fails the gate.
+
+A sorted delta table is printed on every run so the bench trajectory is
+visible in the CI log even when everything passes.
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION = "test_bench_machine_calibration"
+
+# Hot paths every artifact must contain; these also feed the gate.
+REQUIRED = [
+    "test_bench_bulk_construction[5000]",
+    "test_bench_all_densities_cold[5000]",
+    "test_bench_dict_loop_construction_5000_reference",
+    "test_bench_all_densities_dict_loop_5000_reference",
+    "test_bench_bfs_distances[5000]",
+    "test_bench_batched_head_eccentricity[5000]",
+    "test_bench_connected_components[5000]",
+    "test_bench_bfs_dict_loop_5000_reference",
+    "test_bench_head_eccentricity_subgraph_5000_reference",
+    "test_bench_components_dict_loop_5000_reference",
+    "test_bench_mobility_windows_delta[1000]",
+    "test_bench_mobility_windows_delta[5000]",
+    "test_bench_mobility_windows_rebuild[1000]",
+    "test_bench_mobility_windows_rebuild[5000]",
+    "test_bench_sparse_movers_delta[1000]",
+    "test_bench_sparse_movers_delta[5000]",
+    "test_bench_sparse_movers_rebuild[1000]",
+    "test_bench_sparse_movers_rebuild[5000]",
+    CALIBRATION,
+]
+
+# (slow bench, fast bench, floor, description): slow/fast must stay >= floor.
+SPEEDUP_FLOORS = [
+    ("test_bench_mobility_windows_rebuild[5000]",
+     "test_bench_mobility_windows_delta[5000]",
+     3.0, "5000-node mobility window delta speedup"),
+]
+
+
+def load_means(path):
+    """``benchmark-json`` artifact -> ``{bench name: mean seconds}``."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in payload.get("benchmarks", [])}
+
+
+def check_completeness(means):
+    """Error strings for an empty or hot-path-incomplete artifact."""
+    if not means:
+        return ["artifact contains no benchmarks"]
+    missing = [name for name in REQUIRED if name not in means]
+    if missing:
+        return [f"artifact is missing hot paths: {missing}"]
+    return []
+
+
+def check_floors(means):
+    errors = []
+    for slow, fast, floor, description in SPEEDUP_FLOORS:
+        if slow not in means or fast not in means:
+            continue  # completeness already reported it
+        ratio = means[slow] / means[fast]
+        print(f"{description}: {ratio:.2f}x (floor {floor:.1f}x)")
+        if ratio < floor:
+            errors.append(f"{description} regressed: "
+                          f"{ratio:.2f}x < {floor:.1f}x floor")
+    return errors
+
+
+def compare(baseline, current, threshold):
+    """Print the sorted delta table; return error strings over threshold.
+
+    Deltas are computed on calibration-normalized means when both
+    artifacts carry the calibration bench (positive = slower than
+    baseline).
+    """
+    scale = 1.0
+    if CALIBRATION in baseline and CALIBRATION in current:
+        scale = current[CALIBRATION] / baseline[CALIBRATION]
+        print(f"calibration scale (current/baseline machine speed): "
+              f"{scale:.3f}")
+    else:
+        print("calibration bench absent from one artifact; "
+              "comparing raw means")
+    stale = [name for name in REQUIRED if name not in baseline]
+    if stale:
+        # A truncated/stale baseline must not make the gate vacuous.
+        return [f"baseline artifact is missing hot paths: {stale}; "
+                "regenerate BENCH_baseline.json"]
+    rows = []
+    for name in REQUIRED:
+        if name == CALIBRATION or name not in current:
+            continue
+        delta = current[name] / (baseline[name] * scale) - 1.0
+        rows.append((delta, name))
+    rows.sort(reverse=True)
+    width = max((len(name) for _, name in rows), default=10)
+    print(f"{'bench'.ljust(width)}  {'delta':>8}  {'base ms':>10}  "
+          f"{'now ms':>10}")
+    errors = []
+    for delta, name in rows:
+        flag = " <-- REGRESSION" if delta > threshold else ""
+        print(f"{name.ljust(width)}  {delta:+7.1%}  "
+              f"{baseline[name] * 1e3:10.2f}  {current[name] * 1e3:10.2f}"
+              f"{flag}")
+        if delta > threshold:
+            errors.append(f"{name} regressed {delta:+.1%} "
+                          f"(> {threshold:.0%} threshold)")
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("current", help="freshly produced benchmark json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated normalized slowdown "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    errors = check_completeness(current)
+    if not errors:
+        errors += check_floors(current)
+        errors += compare(baseline, current, args.threshold)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"benchmark gate OK: {len(current)} benches, "
+          f"{len(REQUIRED)} hot paths within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Machine-speed calibration anchor for the regression gate.
+
+A fixed, dependency-free numpy workload whose runtime tracks the host's
+single-core throughput.  ``benchmarks/regression_gate.py`` divides every
+hot-path mean by this bench's mean before comparing against the
+committed ``BENCH_baseline.json``, so the 25% regression threshold
+measures the *code*, not whether CI landed on a slower machine than the
+one that recorded the baseline.
+"""
+
+import numpy as np
+
+
+def _calibration_workload():
+    rng = np.random.default_rng(123456789)
+    values = rng.uniform(0, 1, size=250_000)
+    keys = rng.integers(0, 1_000, size=values.size)
+    total = 0.0
+    for _ in range(6):
+        order = np.lexsort((values, keys))
+        ranks = np.empty(values.size, dtype=np.int64)
+        ranks[order] = np.arange(values.size)
+        total += float(values[ranks % values.size].sum())
+    return total
+
+
+def test_bench_machine_calibration(benchmark):
+    result = benchmark(_calibration_workload)
+    assert result > 0

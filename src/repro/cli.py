@@ -10,11 +10,17 @@ Usage::
     python -m repro mobility --preset quick
     python -m repro scalability
     python -m repro energy
+    python -m repro table2 --backend distributed --workers 4
+    python -m repro worker --connect host:5555
 
 Experiment output is printed as the same plain-text tables the benchmark
 suite shows.  ``--jobs`` fans the Monte-Carlo runs out over worker
-processes; results are identical for every value (see
-``repro.experiments.engine``).
+processes and ``--backend`` selects how (serial, multiprocessing pool,
+or the distributed TCP backend -- optionally with remote workers via
+``--bind`` and ``python -m repro worker --connect``); results are
+identical for every backend and worker count (see
+``repro.experiments.engine``).  Backend status lines go to stderr so
+stdout stays byte-comparable across backends.
 """
 
 import argparse
@@ -23,7 +29,12 @@ import sys
 from repro.experiments.churn import run_churn_experiment
 from repro.experiments.comparison import run_comparison
 from repro.experiments.energy_lifetime import run_energy_lifetime
-from repro.experiments.engine import resolve_jobs
+from repro.experiments.engine import (
+    BACKENDS,
+    make_executor,
+    resolve_jobs,
+    use_executor,
+)
 from repro.experiments.figures import run_figure1, run_figure2, run_figure3
 from repro.experiments.intensity_sweep import run_intensity_sweep
 from repro.experiments.mobility import run_mobility_experiment
@@ -122,8 +133,9 @@ def build_parser():
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list"],
-                        help="experiment to run, or 'list' to enumerate")
+                        choices=sorted(EXPERIMENTS) + ["list", "worker"],
+                        help="experiment to run, 'list' to enumerate, or "
+                             "'worker' to serve a remote coordinator")
     parser.add_argument("--preset", default="quick",
                         help="workload preset: quick (default), paper, smoke")
     parser.add_argument("--seed", type=int, default=2024,
@@ -132,17 +144,80 @@ def build_parser():
                         help="worker processes for Monte-Carlo runs "
                              "(default 1; 0 or 'auto' = all cores); "
                              "results are identical for every value")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution backend (default: serial for "
+                             "--jobs 1, pool otherwise); results are "
+                             "identical for every backend")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="distributed backend: loopback worker "
+                             "processes to spawn (default 2; 0 = rely on "
+                             "remote workers connecting to --bind)")
+    parser.add_argument("--bind", default="127.0.0.1:0",
+                        help="distributed backend: coordinator bind "
+                             "address (use 0.0.0.0:PORT to accept remote "
+                             "workers)")
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="distributed backend: journal completed "
+                             "chunks under DIR and resume interrupted "
+                             "runs from it")
+    parser.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                        help="distributed backend: seconds of worker "
+                             "silence before its chunk is re-queued "
+                             "(default 10; raise it when single runs "
+                             "outlast it and workers heartbeat slower)")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="worker mode: coordinator address to serve")
+    parser.add_argument("--heartbeat", type=float, default=1.0,
+                        help="worker mode: heartbeat interval in seconds "
+                             "while computing (default 1.0; must stay "
+                             "well below the coordinator's "
+                             "--heartbeat-timeout, default 10)")
     return parser
 
 
+def _worker_main(args, parser):
+    if not args.connect:
+        parser.error("worker mode requires --connect HOST:PORT")
+    from repro.experiments.distributed.worker import serve
+    print(f"worker serving coordinator at {args.connect}", file=sys.stderr)
+    served = serve(args.connect, heartbeat_interval=args.heartbeat)
+    print(f"worker done ({served} chunk(s) served)", file=sys.stderr)
+    return 0
+
+
+def _build_executor(args):
+    """The executor implied by ``--backend`` (None = historical --jobs)."""
+    if args.backend is None:
+        return None
+    if args.backend == "distributed":
+        workers = 2 if args.workers is None else args.workers
+        return make_executor("distributed", workers=workers, bind=args.bind,
+                             checkpoint=args.checkpoint,
+                             heartbeat_timeout=args.heartbeat_timeout)
+    return make_executor(args.backend, jobs=args.jobs)
+
+
 def main(argv=None):
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "worker":
+        return _worker_main(args, parser)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):
             print(f"{name.ljust(width)}  {EXPERIMENTS[name][0]}")
         return 0
-    EXPERIMENTS[args.experiment][1](args)
+    executor = _build_executor(args)
+    if executor is None:
+        EXPERIMENTS[args.experiment][1](args)
+        return 0
+    with executor, use_executor(executor):
+        if executor.name == "distributed":
+            host, port = executor.start()
+            print(f"coordinator listening on {host}:{port} "
+                  f"({executor.workers or 0} loopback worker(s))",
+                  file=sys.stderr)
+        EXPERIMENTS[args.experiment][1](args)
     return 0
 
 

@@ -25,7 +25,12 @@ per-node rules as array passes:
   neighborhoods gathered as array slices;
 * when a window changes nothing -- empty edge delta, same densities,
   same incumbents, same names -- the previous
-  :class:`~repro.clustering.result.Clustering` is returned as-is.
+  :class:`~repro.clustering.result.Clustering` is returned as-is.  The
+  same short-circuit applies when the *only* change is incumbent bits
+  flipping on density-untied nodes: density is the primary key of ``≺``
+  and the incumbent flag is consulted only between equal-density nodes,
+  so with no edge/density/name frontier such flips cannot reorder any
+  comparison and the previous election is provably bit-identical.
 
 The scratch oracle remains the reference; the property suite drives
 randomized window sequences through both and asserts identical heads,
@@ -72,6 +77,7 @@ class IncrementalElection:
         self._tie = None
         self._dag = None
         self._density = None
+        self._tied = None  # density-tie mask cache, None = stale
         self._is_head = None
         self._last = None
 
@@ -117,11 +123,13 @@ class IncrementalElection:
             self._density = np.fromiter(
                 (float(densities[node]) for node in ids),
                 dtype=np.float64, count=n)
+            self._tied = None
         elif density_changed:
             index_of = csr.index_of
             density = self._density
             for node in density_changed:
                 density[index_of[node]] = float(densities[node])
+            self._tied = None
 
         if dag_changed:
             self._dag = None if dag_ids is None else np.fromiter(
@@ -130,13 +138,24 @@ class IncrementalElection:
         heads_prev = _previous_heads(previous)
         is_head = np.fromiter((node in heads_prev for node in ids),
                               dtype=bool, count=n)
-        heads_same = (self._is_head is not None
-                      and np.array_equal(is_head, self._is_head))
+        was_head = self._is_head
+        heads_same = (was_head is not None
+                      and np.array_equal(is_head, was_head))
         self._is_head = is_head
 
-        if (self._last is not None and not reseed and not graph_changed
-                and not dag_changed and not density_changed
-                and (heads_same or not self._incumbent)):
+        unchanged_inputs = (self._last is not None and not reseed
+                            and not graph_changed and not dag_changed
+                            and not density_changed)
+        if unchanged_inputs and (heads_same or not self._incumbent):
+            return self._last
+        if (unchanged_inputs and was_head is not None
+                and not self._density_tied()[is_head != was_head].any()):
+            # The window's delta is empty (no edge/density/name frontier)
+            # and the incumbent bit flipped only on density-untied nodes.
+            # Density is the primary key of the lexsort and the incumbent
+            # flag is compared only between equal-density nodes, so these
+            # flips cannot reorder any pair under "<": ranks, parents,
+            # and fusion are provably unchanged.
             return self._last
 
         ranks = self._ranks()
@@ -149,6 +168,27 @@ class IncrementalElection:
                                 dag_ids=dag_ids, order_name=self.order.name,
                                 fusion=self.fusion)
         return self._last
+
+    def _density_tied(self):
+        """Mask of nodes whose density value is shared with another node.
+
+        Only at these nodes can the incumbent flag (or any lower-order
+        key component) influence ``≺``.  Cached until a density write
+        invalidates it; the float image is exact below
+        :data:`FLOAT_RANK_LIMIT` (module docstring), so float equality
+        here coincides with equality of the underlying Fractions.
+        """
+        if self._tied is None:
+            density = self._density
+            order = np.argsort(density, kind="stable")
+            sorted_values = density[order]
+            same = sorted_values[1:] == sorted_values[:-1]
+            tied_sorted = np.zeros(len(density), dtype=bool)
+            tied_sorted[1:] |= same
+            tied_sorted[:-1] |= same
+            self._tied = np.empty(len(density), dtype=bool)
+            self._tied[order] = tied_sorted
+        return self._tied
 
     def _ranks(self):
         """Rank of every row under ``≺`` (greater rank wins).

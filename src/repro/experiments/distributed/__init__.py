@@ -1,0 +1,42 @@
+"""Distributed experiment backend: TCP coordinator + remote workers.
+
+The engine's ``"distributed"`` backend.  A :class:`Coordinator` chunks a
+submission's task list and streams the chunks to registered workers over
+length-prefixed pickle frames (:mod:`.protocol`); workers
+(:mod:`.worker`, ``python -m repro worker --connect host:port``)
+heartbeat while computing, drain gracefully on SIGTERM, and crash-safely
+hand their in-flight chunk back to the survivors.  Completed chunks can
+be journaled (:mod:`.checkpoint`) so an interrupted run resumes without
+re-executing finished work.  Results are reassembled in submission
+order, so the reduced output is bit-identical to the serial backend for
+any worker count or failure schedule.
+"""
+
+from repro.experiments.distributed.checkpoint import (
+    CheckpointJournal,
+    CheckpointMismatch,
+)
+from repro.experiments.distributed.coordinator import (
+    Coordinator,
+    DistributedError,
+    DistributedExecutor,
+)
+from repro.experiments.distributed.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    parse_endpoint,
+)
+from repro.experiments.distributed.worker import Worker, serve
+
+__all__ = [
+    "CheckpointJournal",
+    "CheckpointMismatch",
+    "ConnectionClosed",
+    "Coordinator",
+    "DistributedError",
+    "DistributedExecutor",
+    "ProtocolError",
+    "Worker",
+    "parse_endpoint",
+    "serve",
+]

@@ -1,0 +1,154 @@
+"""Crash-safe journaling of completed chunk results.
+
+A distributed run journals every completed chunk to disk so an
+interrupted submission resumes without re-executing finished work.  The
+journal is a single append-only file of records::
+
+    [crc32: 4 bytes][length: 8 bytes][pickled payload: length bytes]
+
+The first record is a *meta* payload ``("meta", {...})`` describing the
+submission (label, task count, chunk size); every later record is
+``("chunk", chunk_id, [result, ...])``.  Records are flushed and
+fsync'd, so after a crash the file is a valid prefix plus at most one
+torn tail record; :meth:`CheckpointJournal.open` keeps every record
+whose checksum verifies and truncates the torn tail before appending
+resumes.
+
+Resume correctness rests on the submission being *deterministic*: the
+engine rebuilds the identical task list from the same seed and the
+executor chunks it the same way, so a journaled ``chunk_id`` refers to
+the same tasks as in the interrupted run.  The meta record guards that
+assumption -- resuming with a different task count, chunk size, or label
+raises :class:`CheckpointMismatch` instead of silently splicing results
+from a different workload.
+"""
+
+import hashlib
+import os
+import pickle
+import struct
+import threading
+import zlib
+
+from repro.util.errors import ReproError
+
+RECORD_HEADER = struct.Struct(">IQ")
+
+
+def tasks_digest(tasks):
+    """Content digest binding a journal to one exact task list.
+
+    Tasks carry their pre-spawned RNGs, so the digest changes with the
+    seed as well as with the workload shape -- resuming the same command
+    line under a different ``--seed`` is refused instead of silently
+    splicing the old seed's results into the new run.
+    """
+    payload = pickle.dumps(list(tasks), protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(payload).hexdigest()[:32]
+
+
+class CheckpointMismatch(ReproError):
+    """An existing journal was written by a different submission."""
+
+
+class CheckpointJournal:
+    """One submission's journal; see the module docstring for layout."""
+
+    def __init__(self, path, meta, completed):
+        self.path = path
+        self.meta = meta
+        self.completed = completed  # chunk_id -> list of results
+        self._handle = None
+        self._lock = threading.Lock()  # appends come from handler threads
+
+    @classmethod
+    def open(cls, path, meta):
+        """Open (or create) the journal at ``path`` for ``meta``.
+
+        Loads every intact record, validates the stored meta against
+        ``meta``, truncates a torn tail, and returns the journal ready
+        for appending.  ``completed`` maps journaled chunk ids to their
+        result lists.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        records, valid_end = _scan(path)
+        completed = {}
+        stored_meta = None
+        for payload in records:
+            if payload[0] == "meta":
+                stored_meta = payload[1]
+            elif payload[0] == "chunk":
+                completed[payload[1]] = payload[2]
+        if stored_meta is not None and stored_meta != meta:
+            raise CheckpointMismatch(
+                f"checkpoint {path} was written by a different submission "
+                f"(journal meta {stored_meta!r} != current {meta!r}); "
+                "delete it to start over")
+        journal = cls(path, meta, completed)
+        mode = "r+b" if os.path.exists(path) else "wb"
+        journal._handle = open(path, mode)
+        journal._handle.seek(valid_end)
+        journal._handle.truncate(valid_end)
+        if stored_meta is None:
+            journal._append(("meta", meta))
+        return journal
+
+    def record(self, chunk_id, results):
+        """Journal one completed chunk (flushed and fsync'd); thread-safe."""
+        with self._lock:
+            if chunk_id in self.completed:
+                return
+            self.completed[chunk_id] = results
+            self._append(("chunk", chunk_id, results))
+
+    def _append(self, payload):
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._handle.write(
+            RECORD_HEADER.pack(zlib.crc32(data), len(data)) + data)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+def _scan(path):
+    """All intact record payloads of ``path`` plus the valid prefix size.
+
+    Stops at the first torn or corrupt record: everything after it is
+    unreachable anyway (records carry no resync marker), and the only
+    legitimate cause is a crash mid-append, which by construction tears
+    the *last* record.
+    """
+    if not os.path.exists(path):
+        return [], 0
+    records = []
+    valid_end = 0
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        while True:
+            header = handle.read(RECORD_HEADER.size)
+            if len(header) < RECORD_HEADER.size:
+                break
+            crc, length = RECORD_HEADER.unpack(header)
+            if length > size - handle.tell():
+                break  # torn tail: the record claims more than the file has
+            data = handle.read(length)
+            if len(data) < length or zlib.crc32(data) != crc:
+                break
+            try:
+                records.append(pickle.loads(data))
+            except Exception:
+                break
+            valid_end = handle.tell()
+    return records, valid_end

@@ -1,0 +1,113 @@
+"""Wire protocol of the distributed backend: length-prefixed pickle frames.
+
+Coordinator and workers exchange *frames*: an 8-byte big-endian length
+followed by a pickled payload.  Payloads are plain tuples whose first
+element is one of the message kinds below -- tuples keep the protocol
+trivially forward-compatible (extra elements are ignored by older peers)
+and avoid any class-identity coupling between coordinator and worker
+processes beyond the task/result objects themselves.
+
+Message flow::
+
+    worker -> coordinator   (HELLO, worker_name)
+    coordinator -> worker   (CHUNK, chunk_id, run, [task, ...])
+    worker -> coordinator   (HEARTBEAT,)              # while computing
+    worker -> coordinator   (RESULT, chunk_id, [result, ...])
+    worker -> coordinator   (ERROR, chunk_id, exception, traceback_str)
+    worker -> coordinator   (DRAIN,)                  # graceful goodbye
+    coordinator -> worker   (SHUTDOWN,)
+
+Sockets are written from more than one thread on both sides (heartbeats
+race results on the worker; dispatch races shutdown on the coordinator),
+so :func:`send_frame` takes an optional lock serializing the write.
+
+.. warning::
+   The protocol is *unauthenticated pickle over TCP*: shipping callables
+   to workers is its purpose, so either endpoint fully trusts the other,
+   and anyone who can reach the coordinator's port can execute code in
+   it (and vice versa).  The default bind is loopback; only bind
+   non-loopback addresses on networks where every host is trusted (a
+   private cluster VLAN, an SSH-tunnel mesh, ...), exactly as with
+   ``multiprocessing.connection`` or an unsecured Dask scheduler.
+"""
+
+import pickle
+import struct
+
+from repro.util.errors import ReproError
+
+HEADER = struct.Struct(">Q")
+
+# A frame larger than this is a corrupt header, not a real payload (the
+# biggest legitimate frames are chunk results, far below this).
+MAX_FRAME_BYTES = 1 << 32
+
+HELLO = "hello"
+CHUNK = "chunk"
+HEARTBEAT = "heartbeat"
+RESULT = "result"
+ERROR = "error"
+DRAIN = "drain"
+SHUTDOWN = "shutdown"
+
+
+class ProtocolError(ReproError):
+    """A malformed frame arrived on a distributed-backend socket."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (EOF mid-frame or between frames)."""
+
+
+def send_frame(sock, message, lock=None):
+    """Pickle ``message`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    data = HEADER.pack(len(payload)) + payload
+    if lock is None:
+        sock.sendall(data)
+    else:
+        with lock:
+            sock.sendall(data)
+
+
+def _recv_exact(sock, size):
+    """Read exactly ``size`` bytes or raise :class:`ConnectionClosed`."""
+    chunks = []
+    received = 0
+    while received < size:
+        piece = sock.recv(min(size - received, 1 << 20))
+        if not piece:
+            raise ConnectionClosed(
+                f"peer closed the connection ({received}/{size} bytes "
+                "of the current frame received)")
+        chunks.append(piece)
+        received += len(piece)
+    return b"".join(chunks)
+
+
+def recv_frame(sock):
+    """Read one frame and unpickle it.
+
+    Raises :class:`ConnectionClosed` on EOF, :class:`ProtocolError` on a
+    corrupt header, and propagates socket timeouts (``TimeoutError``)
+    unchanged so callers can treat them as missed heartbeats.
+    """
+    (size,) = HEADER.unpack(_recv_exact(sock, HEADER.size))
+    if size > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {size} bytes exceeds the protocol "
+                            f"maximum ({MAX_FRAME_BYTES})")
+    return pickle.loads(_recv_exact(sock, size))
+
+
+def parse_endpoint(endpoint, default_port=0):
+    """``"host:port"`` (or ``(host, port)``) -> ``(host, port)`` tuple."""
+    if isinstance(endpoint, (tuple, list)):
+        host, port = endpoint
+        return str(host), int(port)
+    host, sep, port = str(endpoint).rpartition(":")
+    if not sep:
+        return str(endpoint), int(default_port)
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(f"invalid endpoint {endpoint!r}; expected host:port")

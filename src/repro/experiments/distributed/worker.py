@@ -1,0 +1,158 @@
+"""Worker daemon: executes task chunks for a remote coordinator.
+
+Launch one per core on every machine that should take part::
+
+    python -m repro worker --connect coordinator-host:5555
+
+The worker connects, says hello, and then serves chunks: it unpickles
+the submission's ``run`` function (by qualified name, so the ``repro``
+package must be importable -- the loopback spawner arranges ``sys.path``
+automatically), executes the chunk's tasks in order, and streams the
+results back.  While computing it heartbeats every
+``heartbeat_interval`` seconds from a side thread so the coordinator can
+tell "slow" from "dead"; a worker that misses the coordinator's
+``heartbeat_timeout`` has its chunk re-queued elsewhere.
+
+Shutdown paths:
+
+* coordinator says ``SHUTDOWN`` (or closes the socket): exit now;
+* :meth:`Worker.request_drain` (wired to SIGTERM by the CLI): finish the
+  chunk in hand, send its result, announce the drain, exit.  Nothing is
+  re-executed and nothing is lost.
+
+Task exceptions are pickled and shipped back so the submission fails in
+the parent with the original exception type, like the pool backend.
+"""
+
+import pickle
+import select
+import signal
+import socket as socketlib
+import threading
+import traceback
+
+from repro.experiments.distributed.protocol import (
+    CHUNK,
+    DRAIN,
+    ERROR,
+    HEARTBEAT,
+    HELLO,
+    RESULT,
+    SHUTDOWN,
+    ConnectionClosed,
+    ProtocolError,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+)
+
+# How often an idle worker polls for a pending drain request (seconds).
+IDLE_POLL_SECONDS = 0.2
+
+
+class Worker:
+    """One connection-lifetime of a worker daemon; see module docstring."""
+
+    def __init__(self, connect, heartbeat_interval=1.0, name=None):
+        self.address = parse_endpoint(connect)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.name = name or f"worker-{self.address[0]}:{self.address[1]}"
+        self._drain = threading.Event()
+        self._stop = threading.Event()
+        self._busy = threading.Event()
+        self._send_lock = threading.Lock()
+
+    def request_drain(self):
+        """Finish the chunk in hand (if any), then exit gracefully."""
+        self._drain.set()
+
+    def run(self):
+        """Serve chunks until shutdown or drain; returns chunks served."""
+        served = 0
+        sock = socketlib.create_connection(self.address)
+        try:
+            send_frame(sock, (HELLO, self.name), self._send_lock)
+            heartbeats = threading.Thread(
+                target=self._heartbeat_loop, args=(sock,),
+                name=f"{self.name}-heartbeat", daemon=True)
+            heartbeats.start()
+            while True:
+                message = self._next_message(sock)
+                if message is None or message[0] == SHUTDOWN:
+                    return served
+                if message[0] != CHUNK:
+                    raise ProtocolError(
+                        f"unexpected {message[0]!r} frame from coordinator")
+                _, chunk_id, run, tasks = message
+                self._execute(sock, chunk_id, run, tasks)
+                served += 1
+                if self._drain.is_set():
+                    self._announce_drain(sock)
+                    return served
+        finally:
+            self._stop.set()
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _next_message(self, sock):
+        """Await the next frame, polling for drain requests while idle."""
+        while True:
+            if self._drain.is_set():
+                self._announce_drain(sock)
+                return None
+            readable, _, _ = select.select([sock], [], [], IDLE_POLL_SECONDS)
+            if not readable:
+                continue
+            try:
+                return recv_frame(sock)
+            except ConnectionClosed:
+                return None
+
+    def _execute(self, sock, chunk_id, run, tasks):
+        self._busy.set()
+        try:
+            results = [run(task) for task in tasks]
+        except Exception as exc:
+            trace = traceback.format_exc()
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = RuntimeError(
+                    f"unpicklable worker exception: {exc!r}")
+            self._busy.clear()
+            send_frame(sock, (ERROR, chunk_id, exc, trace), self._send_lock)
+        else:
+            self._busy.clear()
+            send_frame(sock, (RESULT, chunk_id, results), self._send_lock)
+
+    def _announce_drain(self, sock):
+        try:
+            send_frame(sock, (DRAIN,), self._send_lock)
+        except OSError:
+            pass
+
+    def _heartbeat_loop(self, sock):
+        """Heartbeat while a chunk is computing (idle workers are silent,
+        so the coordinator's receive buffer stays empty between chunks)."""
+        while not self._stop.wait(self.heartbeat_interval):
+            if not self._busy.is_set():
+                continue
+            try:
+                send_frame(sock, (HEARTBEAT,), self._send_lock)
+            except OSError:
+                return
+
+
+def serve(connect, heartbeat_interval=1.0, name=None, handle_signals=True):
+    """Run a worker until the coordinator shuts it down.
+
+    Installs a SIGTERM -> graceful-drain handler when called from the
+    main thread (the CLI path); in-process workers (tests) skip it.
+    """
+    worker = Worker(connect, heartbeat_interval=heartbeat_interval,
+                    name=name)
+    if handle_signals and threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda *_: worker.request_drain())
+    return worker.run()

@@ -89,6 +89,64 @@ def test_unchanged_window_reuses_previous_clustering():
     assert third is second
 
 
+def test_untied_incumbent_flips_reuse_previous_clustering():
+    """Empty delta + incumbent flips only on density-untied nodes: the
+    flips cannot reorder the primary-keyed lexsort, so the engine skips
+    re-ranking and returns the previous clustering object as-is."""
+    rng = np.random.default_rng(27)
+    positions = rng.uniform(0, 1, size=(40, 2))
+    dynamic = DynamicTopology(positions, 0.2)
+    engine = IncrementalElection(order="incumbent", fusion=True)
+    tie_ids = dynamic.topology.ids
+    first = engine.update(dynamic.graph, dynamic.densities, tie_ids=tie_ids,
+                          previous=None)
+    tied = engine._density_tied()
+    ids = dynamic.graph.to_csr().ids
+    untied = [node for index, node in enumerate(ids) if not tied[index]]
+    assert untied, "seed must yield at least one density-untied node"
+    flipped = frozenset(untied[:2])
+    second = engine.update(dynamic.graph, dynamic.densities, tie_ids=tie_ids,
+                           previous=flipped, density_changed=frozenset(),
+                           graph_changed=False, dag_changed=False)
+    assert second is first
+    oracle = compute_clustering(dynamic.graph, tie_ids=tie_ids,
+                                order="incumbent", fusion=True,
+                                previous=flipped,
+                                densities=dynamic.densities)
+    assert_same_clustering(second, oracle)
+
+
+def test_tied_incumbent_flips_force_recompute():
+    """On a ring every density ties, so an incumbent flip can reorder
+    the election and the skip must not engage."""
+    from repro.clustering.density import all_densities
+    from repro.graph.generators import ring_topology
+
+    topo = ring_topology(6)
+    densities = all_densities(topo.graph, exact=True)
+    engine = IncrementalElection(order="incumbent", fusion=False)
+    first = engine.update(topo.graph, densities, tie_ids=topo.ids,
+                          previous=None)
+    assert engine._density_tied().all()
+    flipped = frozenset({topo.ids[3]})
+    second = engine.update(topo.graph, densities, tie_ids=topo.ids,
+                           previous=flipped, density_changed=frozenset(),
+                           graph_changed=False, dag_changed=False)
+    assert second is not first
+    oracle = compute_clustering(topo.graph, tie_ids=topo.ids,
+                                order="incumbent", previous=flipped,
+                                densities=densities)
+    assert_same_clustering(second, oracle)
+
+
+def test_stationary_trace_matches_oracle():
+    """step=0 makes every window an empty delta while incumbency still
+    settles over the first windows -- the untied-flip skip engages and
+    must stay bit-identical to the scratch oracle."""
+    drive(seed=29, order="incumbent", fusion=True, step=0.0)
+    drive(seed=30, order="incumbent", fusion=False, step=0.0)
+
+
 def test_head_churn_defeats_reuse_for_incumbent_order():
     rng = np.random.default_rng(17)
     positions = rng.uniform(0, 1, size=(40, 2))

@@ -24,6 +24,44 @@ class TestParser:
             build_parser().parse_args(["table99"])
 
 
+class TestBackendFlags:
+    def test_backend_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.backend is None
+        assert args.workers is None
+        assert args.bind == "127.0.0.1:0"
+        assert args.checkpoint is None
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(
+            ["table2", "--backend", "distributed", "--workers", "3",
+             "--bind", "0.0.0.0:5555", "--checkpoint", "/tmp/ckpt"])
+        assert args.backend == "distributed"
+        assert args.workers == 3
+        assert args.bind == "0.0.0.0:5555"
+        assert args.checkpoint == "/tmp/ckpt"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--backend", "smoke-signal"])
+
+    def test_worker_mode_requires_connect(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+        capsys.readouterr()
+
+    def test_backend_serial_runs_experiment(self, capsys):
+        assert main(["table3", "--preset", "smoke", "--seed", "1",
+                     "--backend", "serial"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_backend_pool_matches_serial_stdout(self, capsys):
+        assert main(["table3", "--preset", "smoke", "--seed", "1",
+                     "--backend", "serial"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table3", "--preset", "smoke", "--seed", "1",
+                     "--backend", "pool", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
 class TestMain:
     def test_list_prints_all(self, capsys):
         assert main(["list"]) == 0

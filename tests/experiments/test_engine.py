@@ -12,10 +12,16 @@ from repro.experiments.common import Preset
 from repro.experiments.comparison import run_comparison
 from repro.experiments.energy_lifetime import run_energy_lifetime
 from repro.experiments.engine import (
+    Executor,
     ExperimentSpec,
+    PoolExecutor,
+    SerialExecutor,
+    get_default_executor,
+    make_executor,
     map_runs,
     resolve_jobs,
     run_experiment,
+    use_executor,
 )
 from repro.experiments.mobility import run_mobility_experiment
 from repro.experiments.table3 import run_table3
@@ -97,6 +103,73 @@ class TestRunExperiment:
     def test_rejects_non_spec(self):
         with pytest.raises(ConfigurationError):
             run_experiment(lambda: None)
+
+
+class _RecordingExecutor(Executor):
+    """Serial executor that records every submission it served."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.labels = []
+        self.closed = False
+
+    def submit_all(self, tasks, run, label=None):
+        self.labels.append(label)
+        return [run(task) for task in tasks]
+
+    def close(self):
+        self.closed = True
+
+
+class TestExecutorSeam:
+    def test_make_executor_names(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        pool = make_executor("pool", jobs=3)
+        assert isinstance(pool, PoolExecutor)
+        assert pool.jobs == 3
+        with pytest.raises(ConfigurationError):
+            make_executor("carrier-pigeon")
+
+    def test_make_executor_passes_instances_through(self):
+        executor = SerialExecutor()
+        assert make_executor(executor) is executor
+
+    def test_serial_and_pool_match_jobs_path(self):
+        tasks = list(range(12))
+        expected = map_runs(_toy_run, tasks, jobs=1)
+        assert SerialExecutor().submit_all(tasks, _toy_run) == expected
+        assert PoolExecutor(jobs=3).submit_all(tasks, _toy_run) == expected
+
+    def test_backend_argument_routes_through_executor(self):
+        serial = run_experiment(TOY_SPEC, tasks=5)
+        assert run_experiment(TOY_SPEC, tasks=5, backend="serial") == serial
+        assert run_experiment(TOY_SPEC, tasks=5, backend="pool",
+                              jobs=2) == serial
+
+    def test_ambient_executor_is_used_and_restored(self):
+        recording = _RecordingExecutor()
+        with use_executor(recording):
+            assert get_default_executor() is recording
+            outcome = run_experiment(TOY_SPEC, tasks=3)
+        assert outcome["results"] == [0, 1, 4]
+        assert recording.labels == ["toy"]
+        assert get_default_executor() is None
+        assert not recording.closed  # ambient executors are caller-owned
+
+    def test_explicit_executor_beats_ambient(self):
+        ambient = _RecordingExecutor()
+        explicit = _RecordingExecutor()
+        with use_executor(ambient):
+            run_experiment(TOY_SPEC, tasks=2, executor=explicit)
+        assert explicit.labels == ["toy"]
+        assert ambient.labels == []
+
+    def test_executor_context_manager_closes(self):
+        recording = _RecordingExecutor()
+        with recording as executor:
+            assert executor is recording
+        assert recording.closed
 
 
 class TestJobsDeterminism:

@@ -1,0 +1,105 @@
+"""The benchmark regression gate: completeness, floors, normalization."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+GATE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, os.pardir, "benchmarks",
+                         "regression_gate.py")
+spec = importlib.util.spec_from_file_location("regression_gate", GATE_PATH)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def artifact(tmp_path, name, means):
+    path = tmp_path / name
+    payload = {"benchmarks": [{"name": bench, "stats": {"mean": mean}}
+                              for bench, mean in means.items()]}
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def full_means(scale=1.0, **overrides):
+    means = {name: 0.010 * scale for name in gate.REQUIRED}
+    # Keep the structural floor satisfied by default (rebuild 5x delta).
+    means["test_bench_mobility_windows_rebuild[5000]"] = 0.050 * scale
+    means["test_bench_mobility_windows_delta[5000]"] = 0.010 * scale
+    means.update(overrides)
+    return means
+
+
+class TestCompleteness:
+    def test_empty_artifact_fails(self, tmp_path):
+        current = artifact(tmp_path, "current.json", {})
+        baseline = artifact(tmp_path, "base.json", full_means())
+        assert gate.main([baseline, current]) == 1
+
+    def test_missing_hot_path_fails(self, tmp_path):
+        means = full_means()
+        means.pop("test_bench_bfs_distances[5000]")
+        current = artifact(tmp_path, "current.json", means)
+        baseline = artifact(tmp_path, "base.json", full_means())
+        assert gate.main([baseline, current]) == 1
+
+
+class TestFloorsAndRegressions:
+    def test_identical_artifacts_pass(self, tmp_path, capsys):
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means())
+        assert gate.main([baseline, current]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out  # the sorted table printed
+
+    def test_speedup_floor_violation_fails(self, tmp_path):
+        means = full_means()
+        means["test_bench_mobility_windows_delta[5000]"] = \
+            means["test_bench_mobility_windows_rebuild[5000]"]
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", means)
+        assert gate.main([baseline, current]) == 1
+
+    def test_regression_over_threshold_fails(self, tmp_path, capsys):
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(
+            **{"test_bench_bfs_distances[5000]": 0.010 * 1.5}))
+        assert gate.main([baseline, current]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_slow_machine_is_not_a_regression(self, tmp_path):
+        """A uniformly 2x-slower machine scales the calibration bench
+        too, so normalized deltas stay flat and the gate passes."""
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(scale=2.0))
+        assert gate.main([baseline, current]) == 0
+
+    def test_code_regression_on_slow_machine_still_fails(self, tmp_path):
+        means = full_means(scale=2.0)
+        means["test_bench_bfs_distances[5000]"] *= 1.4
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", means)
+        assert gate.main([baseline, current]) == 1
+
+    def test_stale_baseline_is_not_vacuous(self, tmp_path, capsys):
+        """Hot paths missing from the *baseline* fail the gate instead of
+        being silently skipped."""
+        base_means = full_means()
+        base_means.pop("test_bench_bfs_distances[5000]")
+        baseline = artifact(tmp_path, "base.json", base_means)
+        current = artifact(tmp_path, "current.json", full_means())
+        assert gate.main([baseline, current]) == 1
+        assert "baseline artifact is missing" in capsys.readouterr().err
+
+    def test_threshold_is_configurable(self, tmp_path):
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(
+            **{"test_bench_bfs_distances[5000]": 0.010 * 1.2}))
+        assert gate.main([baseline, current]) == 0  # 20% < default 25%
+        assert gate.main([baseline, current, "--threshold", "0.1"]) == 1
+
+
+def test_load_means_reads_benchmark_json(tmp_path):
+    path = artifact(tmp_path, "a.json", {"x": 0.5})
+    assert gate.load_means(path) == {"x": pytest.approx(0.5)}
