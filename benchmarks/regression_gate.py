@@ -5,7 +5,7 @@ Usage::
     python benchmarks/regression_gate.py BENCH_baseline.json BENCH_ci.json \
         [--threshold 0.25]
 
-Three checks, all loud:
+Four checks, all loud:
 
 1. **Completeness** -- the fresh artifact must contain every required
    hot-path bench (an empty or silently truncated artifact fails).
@@ -17,6 +17,10 @@ Three checks, all loud:
    both artifacts so a slower CI machine does not read as a code
    regression.  Any hot path more than ``--threshold`` (default 25%)
    slower than baseline fails the gate.
+4. **Serving keys** -- every workload bench must carry the
+   ``requests_per_sec`` and ``p99_latency_hops`` ``extra_info`` keys;
+   throughput is gated calibration-normalized, p99 latency raw.  A
+   missing key fails as loudly as a regressed one.
 
 A sorted delta table is printed on every run so the bench trajectory is
 visible in the CI log even when everything passes.
@@ -48,8 +52,21 @@ REQUIRED = [
     "test_bench_sparse_movers_delta[5000]",
     "test_bench_sparse_movers_rebuild[1000]",
     "test_bench_sparse_movers_rebuild[5000]",
+    "test_bench_workload_serve[1000-uniform]",
+    "test_bench_workload_serve[1000-zipf]",
+    "test_bench_workload_serve[5000-uniform]",
+    "test_bench_workload_serve[5000-zipf]",
     CALIBRATION,
 ]
+
+# Serving benches must also carry these ``extra_info`` keys; both are
+# gated against baseline.  ``requests_per_sec`` is throughput, so it is
+# calibration-normalized before comparison; ``p99_latency_hops`` is a
+# deterministic function of the seeded workload, so it is compared raw
+# (any drift is a routing/serving change, never machine noise).
+WORKLOAD_BENCHES = [name for name in REQUIRED
+                    if name.startswith("test_bench_workload_serve")]
+WORKLOAD_KEYS = ("requests_per_sec", "p99_latency_hops")
 
 # (slow bench, fast bench, floor, description): slow/fast must stay >= floor.
 SPEEDUP_FLOORS = [
@@ -65,6 +82,21 @@ def load_means(path):
         payload = json.load(handle)
     return {bench["name"]: bench["stats"]["mean"]
             for bench in payload.get("benchmarks", [])}
+
+
+def load_extra(path):
+    """``benchmark-json`` artifact -> ``{bench name: extra_info dict}``."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {bench["name"]: bench.get("extra_info", {})
+            for bench in payload.get("benchmarks", [])}
+
+
+def calibration_scale(baseline, current):
+    """Current/baseline machine-speed ratio, 1.0 when uncalibratable."""
+    if CALIBRATION in baseline and CALIBRATION in current:
+        return current[CALIBRATION] / baseline[CALIBRATION]
+    return 1.0
 
 
 def check_completeness(means):
@@ -90,6 +122,46 @@ def check_floors(means):
     return errors
 
 
+def check_workload(baseline_extra, current_extra, scale, threshold):
+    """Gate the serving ``extra_info`` keys; error strings when absent
+    or regressed beyond ``threshold``.
+
+    ``scale`` is the calibration ratio (current/baseline machine time;
+    > 1 = slower CI machine), applied to the throughput expectation
+    only -- the p99 latency is hop counts, machine-independent.
+    """
+    errors = []
+    for name in WORKLOAD_BENCHES:
+        base = baseline_extra.get(name, {})
+        now = current_extra.get(name, {})
+        missing = [key for key in WORKLOAD_KEYS if key not in now]
+        if missing:
+            errors.append(f"{name} is missing extra_info keys {missing} "
+                          "in the fresh artifact")
+            continue
+        stale = [key for key in WORKLOAD_KEYS if key not in base]
+        if stale:
+            errors.append(f"{name} is missing extra_info keys {stale} "
+                          "in the baseline; regenerate BENCH_baseline.json")
+            continue
+        expected_rps = base["requests_per_sec"] / scale
+        rps = now["requests_per_sec"]
+        print(f"{name} requests/sec: {rps:,.0f} "
+              f"(expected >= {expected_rps * (1 - threshold):,.0f})")
+        if rps < expected_rps * (1.0 - threshold):
+            errors.append(
+                f"{name} throughput regressed: {rps:,.0f} requests/sec "
+                f"< {1 - threshold:.0%} of the calibrated "
+                f"{expected_rps:,.0f} baseline")
+        base_p99, p99 = base["p99_latency_hops"], now["p99_latency_hops"]
+        print(f"{name} p99 latency: {p99:g} hops (baseline {base_p99:g})")
+        if p99 > base_p99 * (1.0 + threshold):
+            errors.append(
+                f"{name} p99 latency regressed: {p99:g} hops "
+                f"> {1 + threshold:.0%} of the {base_p99:g}-hop baseline")
+    return errors
+
+
 def compare(baseline, current, threshold):
     """Print the sorted delta table; return error strings over threshold.
 
@@ -97,9 +169,8 @@ def compare(baseline, current, threshold):
     artifacts carry the calibration bench (positive = slower than
     baseline).
     """
-    scale = 1.0
+    scale = calibration_scale(baseline, current)
     if CALIBRATION in baseline and CALIBRATION in current:
-        scale = current[CALIBRATION] / baseline[CALIBRATION]
         print(f"calibration scale (current/baseline machine speed): "
               f"{scale:.3f}")
     else:
@@ -146,6 +217,10 @@ def main(argv=None):
     if not errors:
         errors += check_floors(current)
         errors += compare(baseline, current, args.threshold)
+        errors += check_workload(load_extra(args.baseline),
+                                 load_extra(args.current),
+                                 calibration_scale(baseline, current),
+                                 args.threshold)
     if errors:
         for error in errors:
             print(f"FAIL: {error}", file=sys.stderr)

@@ -1,0 +1,81 @@
+"""Bench: traffic serving throughput through the cached hierarchical router.
+
+Serves 10^5 Poisson-arrival requests per bench through
+:func:`~repro.workload.serve.serve_workload` at 1000 and 5000 nodes,
+under uniform and Zipf(0.8) destination popularity.  Each bench also
+records two serving-quality keys in ``extra_info``:
+
+* ``requests_per_sec`` -- served requests over the measured mean time
+  (the throughput key the regression gate normalizes by the calibration
+  bench);
+* ``p99_latency_hops`` -- the p99 serving latency in hops (a pure
+  function of the seeded deployment and workload, so the gate compares
+  it raw: any drift is a routing change, not machine noise).
+
+``flat_every=0`` disables stretch sampling so the measurement is the
+serving path itself, not the flat-BFS oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectors import (
+    CollectorProxy,
+    HeadLoadCollector,
+    LatencyCollector,
+    LinkLoadCollector,
+)
+from repro.graph.generators import uniform_topology
+from repro.hierarchy.hierarchy import build_hierarchy
+from repro.workload.generators import ZipfPopularity, poisson_requests
+from repro.workload.serve import serve_workload
+
+SCALES = (1000, 5000)
+RADIUS = 0.05
+REQUESTS = 100_000
+ZIPF_ALPHA = 0.8
+
+
+@pytest.fixture(scope="module")
+def deployments():
+    """One seeded hierarchy per scale (deployment build cost out of the
+    measurement)."""
+    built = {}
+    for count in SCALES:
+        rng = np.random.default_rng(2024)
+        topology = uniform_topology(count, RADIUS, rng=rng)
+        built[count] = build_hierarchy(topology, rng=rng)
+    return built
+
+
+def _serve(hierarchy, kind):
+    nodes = sorted(hierarchy.physical.topology.graph.nodes)
+    proxy = CollectorProxy([
+        LatencyCollector(),
+        LinkLoadCollector(),
+        HeadLoadCollector(hierarchy.physical.clustering.heads),
+    ])
+    popularity = (ZipfPopularity(nodes, ZIPF_ALPHA)
+                  if kind == "zipf" else None)
+    requests = poisson_requests(nodes, REQUESTS,
+                                rng=np.random.default_rng(7),
+                                popularity=popularity)
+    return serve_workload(hierarchy, requests, proxy, flat_every=0)
+
+
+@pytest.mark.parametrize("count,kind", [
+    (1000, "uniform"),
+    (1000, "zipf"),
+    (5000, "uniform"),
+    (5000, "zipf"),
+])
+def test_bench_workload_serve(benchmark, deployments, count, kind):
+    hierarchy = deployments[count]
+    proxy = benchmark.pedantic(lambda: _serve(hierarchy, kind),
+                               rounds=1, iterations=1)
+    latency = proxy["latency"].results()
+    assert latency["requests"] == REQUESTS
+    assert latency["served"] + latency["unroutable"] == REQUESTS
+    benchmark.extra_info["requests_per_sec"] = (
+        REQUESTS / benchmark.stats.stats.mean)
+    benchmark.extra_info["p99_latency_hops"] = latency["p99"]

@@ -50,6 +50,7 @@ from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
+from repro.experiments.workload import run_workload
 from repro.util.errors import ConfigurationError
 
 
@@ -125,6 +126,9 @@ EXPERIMENTS = {
     "node-churn": ("Recovery under node arrivals and departures",
                    _seed_runner(lambda rng, jobs: run_churn_experiment(
                        rng=rng, jobs=jobs))),
+    "workload": ("Serve traffic: latency, link load, head hot-spotting",
+                 _preset_runner(lambda p, rng, jobs: run_workload(
+                     p, rng=rng, jobs=jobs))),
 }
 
 

@@ -1,0 +1,145 @@
+"""Mergeable, order-independent streaming quantile summaries.
+
+The chunked serving pipeline needs percentiles whose value is a
+function of the observed *multiset* alone -- never of arrival order or
+of how the stream was split across workers.  General-purpose sketches
+(GK, t-digest) break that: their state depends on insertion order.
+:class:`StreamingQuantile` instead runs in two regimes, both multiset-
+deterministic:
+
+* **exact** while the number of *distinct* values is at most
+  ``exact_cap``: a counting dict keyed by value, percentiles by
+  nearest rank over the sorted keys -- no error at all (hop-count
+  latencies and stretch ratios live here permanently);
+* **binned** once distinct values exceed the cap: every value collapses
+  to the fixed equal-width grid of ``bins`` bins over ``[lo, hi]``
+  (clamped at the edges), counts summed per bin, percentiles taken at
+  bin centers.  The grid is fixed at construction, so the binned state
+  is again a pure function of the multiset.
+
+Documented error bound: exact mode is exact; binned mode reports
+quantiles off by at most one bin width, ``(hi - lo) / bins`` (plus the
+clamp distortion for values outside ``[lo, hi]``; ``min``/``max`` stay
+exact in both modes).  The property suite checks both the bound and
+merge associativity/order-independence.
+"""
+
+import math
+
+from repro.util.errors import ConfigurationError
+
+
+class StreamingQuantile:
+    """Bounded-memory quantile summary with multiset-deterministic state.
+
+    All instances being merged must share identical ``(lo, hi, bins,
+    exact_cap)`` parameters.
+    """
+
+    def __init__(self, lo=0.0, hi=1024.0, bins=4096, exact_cap=4096):
+        if not hi > lo:
+            raise ConfigurationError(f"need hi > lo, got [{lo}, {hi}]")
+        if bins < 1 or exact_cap < 1:
+            raise ConfigurationError("bins and exact_cap must be >= 1")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = int(bins)
+        self.exact_cap = int(exact_cap)
+        self.counts = {}
+        self.binned = False
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+        # Totals kept as exact integer-scaled sums would constrain the
+        # domain; instead the mean is derived from the counts dict at
+        # query time (sorted order), keeping it multiset-deterministic.
+
+    @property
+    def width(self):
+        """Bin width = the documented binned-mode error bound."""
+        return (self.hi - self.lo) / self.bins
+
+    def _bin_value(self, value):
+        """The bin-center representative of ``value`` on the fixed grid."""
+        clamped = min(max(value, self.lo), self.hi)
+        index = min(int((clamped - self.lo) / self.width), self.bins - 1)
+        return self.lo + (index + 0.5) * self.width
+
+    def _collapse(self):
+        binned = {}
+        for value, count in self.counts.items():
+            key = self._bin_value(value)
+            binned[key] = binned.get(key, 0) + count
+        self.counts = binned
+        self.binned = True
+
+    def observe(self, value, count=1):
+        """Absorb ``count`` occurrences of ``value``."""
+        value = float(value)
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        self.count += count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        key = self._bin_value(value) if self.binned else value
+        self.counts[key] = self.counts.get(key, 0) + count
+        if not self.binned and len(self.counts) > self.exact_cap:
+            self._collapse()
+
+    def merge(self, other):
+        """Fold ``other`` in; both summaries must share parameters."""
+        if not isinstance(other, StreamingQuantile):
+            raise ConfigurationError(
+                f"cannot merge {type(other).__name__} into a summary"
+            )
+        ours = (self.lo, self.hi, self.bins, self.exact_cap)
+        if ours != (other.lo, other.hi, other.bins, other.exact_cap):
+            raise ConfigurationError("summary parameters do not match")
+        if other.binned and not self.binned:
+            self._collapse()
+        for value, count in other.counts.items():
+            key = self._bin_value(value) if self.binned else value
+            self.counts[key] = self.counts.get(key, 0) + count
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if not self.binned and len(self.counts) > self.exact_cap:
+            self._collapse()
+        return self
+
+    def percentile(self, q):
+        """Nearest-rank ``q``-th percentile (``q`` in [0, 100])."""
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= rank:
+                return value
+        return self.max  # unreachable; guards float accumulation quirks
+
+    @property
+    def mean(self):
+        """Multiset-deterministic mean (summed in sorted-value order)."""
+        if self.count == 0:
+            return math.nan
+        total = 0.0
+        for value in sorted(self.counts):
+            total += value * self.counts[value]
+        return total / self.count
+
+    def results(self):
+        """Common summary scalars."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+        }

@@ -144,6 +144,46 @@ def csr_shortest_path(csr, source, target, labels=None):
     return None
 
 
+def csr_bfs_parents(csr, source, labels=None):
+    """Full-BFS ``(parents, distances)`` from ``source``.
+
+    The same expansion as :func:`csr_shortest_path` without the early
+    exit: ``parents[r]`` is row ``r``'s first discoverer in
+    (frontier row, CSR neighbor) order -- ``-1`` for the source itself
+    and for unreached rows -- and ``distances[r]`` the hop distance
+    (``-1`` unreached).  Because the parent rule is identical,
+    unwinding ``target -> source`` through ``parents`` reproduces
+    ``csr_shortest_path(csr, source, target, labels)`` exactly; one
+    full sweep therefore serves every target reachable from ``source``,
+    which is what lets the traffic-serving router cache a cluster's
+    whole leg fan-out per (cluster, leg source) instead of re-running a
+    path search per request.
+    """
+    n = len(csr)
+    if not 0 <= source < n:
+        raise TopologyError(f"source row {source} out of range [0, {n})")
+    dist = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    indptr, indices = csr.indptr, csr.indices
+    level = 0
+    while frontier.size:
+        level += 1
+        neigh, src = _expand_frontier(indptr, indices, frontier)
+        keep = dist[neigh] < 0
+        if labels is not None:
+            keep &= labels[neigh] == labels[src]
+        cand = neigh[keep]
+        if not cand.size:
+            break
+        # Same deterministic parent rule as csr_shortest_path.
+        frontier, first = np.unique(cand, return_index=True)
+        parent[frontier] = src[keep][first]
+        dist[frontier] = level
+    return parent, dist
+
+
 def csr_component_labels(csr):
     """Per-row component label: the smallest row index in the component.
 

@@ -26,11 +26,18 @@ historical tie-breaks keeps the chosen head path (and hence the gateway
 sequence) bit-identical.
 """
 
+import math
 from collections import deque
 
 from repro.graph.traversal import csr_bfs_distances, csr_shortest_path
 from repro.hierarchy.overlay import gateway_for
 from repro.util.errors import ConfigurationError, TopologyError
+
+#: Sentinel returned by :func:`route_stretch` for a disconnected pair:
+#: infinitely many hops on both paths, infinite stretch.  Callers that
+#: sample pairs filter with ``math.isinf(stretch)`` instead of catching
+#: an exception.
+UNREACHABLE = (math.inf, math.inf, math.inf)
 
 
 def shortest_path(graph, source, target):
@@ -119,16 +126,23 @@ def hierarchical_route(hierarchy, source, destination):
 def route_stretch(hierarchy, source, destination):
     """``(hierarchical hops, flat shortest hops, stretch)`` for one pair.
 
-    Raises :class:`ConfigurationError` when the pair is disconnected.
+    Both endpoints must be physical nodes (:class:`TopologyError`
+    otherwise).  A *disconnected* pair returns the documented
+    :data:`UNREACHABLE` sentinel ``(inf, inf, inf)`` -- an expected
+    outcome on sparse deployments, not an error.  A connected pair for
+    which the hierarchy offers no route would be an internal
+    inconsistency and still raises :class:`ConfigurationError`.
     """
     graph = hierarchy.physical.topology.graph
     if source not in graph:
         raise TopologyError(f"source {source!r} not in graph")
+    if destination not in graph:
+        raise TopologyError(f"destination {destination!r} not in graph")
     csr = graph.to_csr()
     dist = csr_bfs_distances(csr, csr.index_of[source])
-    target_row = csr.index_of.get(destination)
-    if target_row is None or dist[target_row] < 0:
-        raise ConfigurationError("pair is not connected")
+    target_row = csr.index_of[destination]
+    if dist[target_row] < 0:
+        return UNREACHABLE
     flat = int(dist[target_row])
     if flat == 0:
         return (0, 0, 1.0)

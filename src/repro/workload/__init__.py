@@ -1,0 +1,33 @@
+"""Traffic-serving workloads over the cluster hierarchy.
+
+Request *generators* (:mod:`repro.workload.generators`) produce lazy
+streams of :class:`~repro.workload.generators.Request` events -- Poisson
+arrivals with Zipf destination popularity, trace replay, YCSB-style
+read/write mixes -- so a million-event schedule never materializes in
+RAM.  The *serving* side (:mod:`repro.workload.serve`) routes every
+request through the hierarchy with :class:`~repro.workload.serve.
+CachedRouter` (bit-identical paths to
+:func:`~repro.hierarchy.routing.hierarchical_route`, amortized across
+requests) and feeds the per-request outcomes to a
+:class:`~repro.collectors.base.DataCollector` pipeline.
+"""
+
+from repro.workload.generators import (
+    Request,
+    ZipfPopularity,
+    poisson_requests,
+    trace_requests,
+    ycsb_requests,
+)
+from repro.workload.serve import CachedRouter, ServedRequest, serve_workload
+
+__all__ = [
+    "CachedRouter",
+    "Request",
+    "ServedRequest",
+    "ZipfPopularity",
+    "poisson_requests",
+    "serve_workload",
+    "trace_requests",
+    "ycsb_requests",
+]

@@ -1,0 +1,239 @@
+"""Request serving: cached hierarchical routing plus the collector loop.
+
+:func:`~repro.hierarchy.routing.hierarchical_route` decomposes every
+route into three reusable pieces -- an overlay head path, one gateway
+per overlay hop, and label-constrained intra-cluster legs -- and under
+any realistic workload those pieces repeat across requests far more
+often than whole (source, destination) pairs do.  :class:`CachedRouter`
+exploits that: it memoizes
+
+* the overlay BFS tree per source head (one dict BFS each, identical
+  expansion order to :func:`~repro.hierarchy.routing.shortest_path`, so
+  the chosen head path and hence the gateway sequence are bit-identical
+  to the uncached routine);
+* the intra-cluster parent fan-out per (cluster, leg source) via one
+  :func:`~repro.graph.traversal.csr_bfs_parents` sweep (same
+  deterministic parent rule as
+  :func:`~repro.graph.traversal.csr_shortest_path`, so every unwound
+  leg equals the uncached leg);
+* the gateway orientation per ordered head pair;
+* flat BFS distance arrays per *destination* (distances are symmetric,
+  and skewed workloads concentrate destinations) in a bounded FIFO
+  cache, for path-stretch accounting.
+
+The routes it returns are therefore exactly
+``hierarchical_route(hierarchy, source, destination)`` -- the test
+suite asserts equality -- at a per-request cost that amortizes to a few
+dict lookups.  :func:`serve_workload` is the serving loop: route each
+request, hand the outcome to the collector pipeline.
+"""
+
+from collections import OrderedDict, deque
+from typing import NamedTuple, Optional
+
+from repro.graph.traversal import csr_bfs_distances, csr_bfs_parents
+from repro.hierarchy.overlay import gateway_for
+from repro.util.errors import TopologyError
+
+
+class ServedRequest(NamedTuple):
+    """The outcome of routing one request.
+
+    ``route`` is the physical node path (``None`` when the hierarchy
+    offers no route), ``head_path`` the overlay head sequence the route
+    crossed (a 1-tuple for intra-cluster traffic), ``hops`` the route
+    length in hops, and ``flat_hops`` the flat shortest-path length --
+    ``None`` when stretch accounting was not requested for this event
+    (see ``flat_every`` in :func:`serve_workload`).
+    """
+
+    request: object
+    route: Optional[tuple]
+    head_path: Optional[tuple]
+    hops: Optional[int]
+    flat_hops: Optional[int] = None
+
+
+class CachedRouter:
+    """Amortized hierarchical routing over one hierarchy snapshot.
+
+    ``flat_cache`` bounds how many per-destination flat BFS distance
+    arrays are kept (FIFO eviction), so memory stays O(cache * n) even
+    under uniform destination popularity.
+    """
+
+    def __init__(self, hierarchy, flat_cache=256):
+        level = hierarchy.physical
+        self.hierarchy = hierarchy
+        self.head_of = level.clustering.head_of
+        self.overlay = level.overlay
+        self.csr, self.labels = level.clustering.cluster_rows()
+        self.index_of = self.csr.index_of
+        self.ids = self.csr.ids
+        self._leg_parents = {}    # (head, leg source) -> {row: parent row}
+        self._leg_paths = {}      # (head, source, target) -> node tuple
+        self._member_rows = {}    # head row -> member row list
+        self._overlay_trees = {}  # head -> {head: parent} BFS tree
+        self._overlay_paths = {}  # (src head, dst head) -> head tuple|None
+        self._gateways = {}       # (here, there) -> (exit node, entry node)
+        self._flat = OrderedDict()  # destination -> distance array
+        self._flat_cache = flat_cache
+
+    # -- overlay ------------------------------------------------------
+
+    def _overlay_tree(self, head):
+        """Full BFS parent tree over the overlay graph from ``head``.
+
+        Same discovery order as :func:`repro.hierarchy.routing.
+        shortest_path` (deque BFS in neighbor order), minus the early
+        exit -- which never changes the parents of rows discovered
+        before the target, so unwound paths match it exactly.
+        """
+        tree = self._overlay_trees.get(head)
+        if tree is None:
+            graph = self.overlay.topology.graph
+            tree = {head: None}
+            queue = deque([head])
+            while queue:
+                node = queue.popleft()
+                for neighbor in graph.neighbors(node):
+                    if neighbor not in tree:
+                        tree[neighbor] = node
+                        queue.append(neighbor)
+            self._overlay_trees[head] = tree
+        return tree
+
+    def overlay_path(self, head_src, head_dst):
+        """The head path ``hierarchical_route`` would walk, or ``None``."""
+        key = (head_src, head_dst)
+        if key not in self._overlay_paths:
+            tree = self._overlay_tree(head_src)
+            if head_dst not in tree:
+                self._overlay_paths[key] = None
+            else:
+                path = [head_dst]
+                while tree[path[-1]] is not None:
+                    path.append(tree[path[-1]])
+                path.reverse()
+                self._overlay_paths[key] = tuple(path)
+        return self._overlay_paths[key]
+
+    # -- intra-cluster legs -------------------------------------------
+
+    def _leg(self, head, source, target):
+        """Shortest same-cluster path, = ``_intra_cluster_path`` exactly."""
+        key = (head, source, target)
+        path = self._leg_paths.get(key)
+        if path is None:
+            source_row = self.index_of[source]
+            parents = self._leg_parents.get((head, source))
+            if parents is None:
+                head_row = self.index_of[head]
+                members = self._member_rows.get(head_row)
+                if members is None:
+                    members = [
+                        int(row) for row in
+                        (self.labels == head_row).nonzero()[0]]
+                    self._member_rows[head_row] = members
+                parent_rows, _dist = csr_bfs_parents(
+                    self.csr, source_row, labels=self.labels)
+                parents = {row: int(parent_rows[row]) for row in members}
+                self._leg_parents[(head, source)] = parents
+            rows = [self.index_of[target]]
+            while rows[-1] != source_row:
+                parent = parents[rows[-1]]
+                if parent < 0:
+                    raise TopologyError(
+                        f"cluster of {head!r} is internally disconnected")
+                rows.append(parent)
+            rows.reverse()
+            ids = self.ids
+            path = tuple(ids[row] for row in rows)
+            self._leg_paths[key] = path
+        return path
+
+    def _gateway(self, here, there):
+        key = (here, there)
+        gateway = self._gateways.get(key)
+        if gateway is None:
+            gateway = gateway_for(self.overlay, here, there)
+            self._gateways[key] = gateway
+        return gateway
+
+    # -- routing ------------------------------------------------------
+
+    def route(self, source, destination):
+        """``(route, head_path)``; ``(None, None)`` when unroutable.
+
+        ``route`` equals ``hierarchical_route(hierarchy, source,
+        destination)``; ``head_path`` is the overlay head sequence the
+        route crossed (``(head,)`` for intra-cluster pairs).
+        """
+        head_src = self.head_of[source]
+        head_dst = self.head_of[destination]
+        if head_src == head_dst:
+            return list(self._leg(head_src, source, destination)), (head_src,)
+        if self.overlay is None:
+            return None, None
+        head_path = self.overlay_path(head_src, head_dst)
+        if head_path is None:
+            return None, None
+        route = [source]
+        current = source
+        for hop in range(len(head_path) - 1):
+            here, there = head_path[hop], head_path[hop + 1]
+            exit_node, entry_node = self._gateway(here, there)
+            route.extend(self._leg(here, current, exit_node)[1:])
+            route.append(entry_node)
+            current = entry_node
+        route.extend(self._leg(head_path[-1], current, destination)[1:])
+        return route, head_path
+
+    def flat_hops(self, source, destination):
+        """Flat shortest-path hops, or ``None`` when disconnected.
+
+        BFS arrays are keyed by *destination* (hop distances are
+        symmetric), which is exactly the axis skewed workloads
+        concentrate on.
+        """
+        dist = self._flat.get(destination)
+        if dist is None:
+            dist = csr_bfs_distances(self.csr, self.index_of[destination])
+            self._flat[destination] = dist
+            if len(self._flat) > self._flat_cache:
+                self._flat.popitem(last=False)
+        hops = int(dist[self.index_of[source]])
+        return None if hops < 0 else hops
+
+    def serve(self, request, with_flat=False):
+        """Route one request into a :class:`ServedRequest`."""
+        route, head_path = self.route(request.source, request.destination)
+        if route is None:
+            return ServedRequest(request=request, route=None, head_path=None,
+                                 hops=None)
+        flat = None
+        if with_flat:
+            flat = self.flat_hops(request.source, request.destination)
+        return ServedRequest(request=request, route=route,
+                             head_path=head_path, hops=len(route) - 1,
+                             flat_hops=flat)
+
+
+def serve_workload(hierarchy, requests, collector, flat_every=1,
+                   router=None):
+    """Serve a request stream through ``hierarchy`` into ``collector``.
+
+    ``flat_every=k`` computes the flat shortest-path length (the
+    path-stretch denominator) for every ``k``-th request only --
+    stretch is a sampled statistic, latency/load are exact over all
+    requests.  ``flat_every=0`` disables stretch accounting entirely.
+    Returns the collector.
+    """
+    if router is None:
+        router = CachedRouter(hierarchy)
+    index = 0
+    for request in requests:
+        with_flat = bool(flat_every) and index % flat_every == 0
+        collector.process(router.serve(request, with_flat=with_flat))
+        index += 1
+    return collector

@@ -14,9 +14,12 @@ gate = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(gate)
 
 
-def artifact(tmp_path, name, means):
+def artifact(tmp_path, name, means, extras=None):
+    if extras is None:
+        extras = full_extras()
     path = tmp_path / name
-    payload = {"benchmarks": [{"name": bench, "stats": {"mean": mean}}
+    payload = {"benchmarks": [{"name": bench, "stats": {"mean": mean},
+                               "extra_info": extras.get(bench, {})}
                               for bench, mean in means.items()]}
     path.write_text(json.dumps(payload))
     return str(path)
@@ -29,6 +32,13 @@ def full_means(scale=1.0, **overrides):
     means["test_bench_mobility_windows_delta[5000]"] = 0.010 * scale
     means.update(overrides)
     return means
+
+
+def full_extras(scale=1.0):
+    # p99 latency is hop counts -- machine speed never moves it.
+    return {name: {"requests_per_sec": 50_000.0 / scale,
+                   "p99_latency_hops": 30.0}
+            for name in gate.WORKLOAD_BENCHES}
 
 
 class TestCompleteness:
@@ -100,6 +110,65 @@ class TestFloorsAndRegressions:
         assert gate.main([baseline, current, "--threshold", "0.1"]) == 1
 
 
+class TestWorkloadKeys:
+    def test_missing_extra_info_fails(self, tmp_path, capsys):
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(),
+                           extras={})
+        assert gate.main([baseline, current]) == 1
+        assert "missing extra_info" in capsys.readouterr().err
+
+    def test_stale_baseline_extras_fail(self, tmp_path, capsys):
+        baseline = artifact(tmp_path, "base.json", full_means(), extras={})
+        current = artifact(tmp_path, "current.json", full_means())
+        assert gate.main([baseline, current]) == 1
+        assert "regenerate BENCH_baseline.json" in capsys.readouterr().err
+
+    def test_throughput_regression_fails(self, tmp_path, capsys):
+        extras = full_extras()
+        bench = gate.WORKLOAD_BENCHES[0]
+        extras[bench] = dict(extras[bench], requests_per_sec=25_000.0)
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(),
+                           extras=extras)
+        assert gate.main([baseline, current]) == 1
+        assert "throughput regressed" in capsys.readouterr().err
+
+    def test_slow_machine_throughput_is_normalized(self, tmp_path):
+        """Half the requests/sec on a calibrated 2x-slower machine is
+        expected, not a regression."""
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(scale=2.0),
+                           extras=full_extras(scale=2.0))
+        assert gate.main([baseline, current]) == 0
+
+    def test_p99_latency_regression_fails(self, tmp_path, capsys):
+        extras = full_extras()
+        bench = gate.WORKLOAD_BENCHES[-1]
+        extras[bench] = dict(extras[bench], p99_latency_hops=45.0)
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(),
+                           extras=extras)
+        assert gate.main([baseline, current]) == 1
+        assert "p99 latency regressed" in capsys.readouterr().err
+
+    def test_p99_latency_is_compared_raw(self, tmp_path):
+        """Machine speed must never excuse a latency (hop-count) change."""
+        extras = full_extras(scale=2.0)
+        bench = gate.WORKLOAD_BENCHES[0]
+        extras[bench] = dict(extras[bench], p99_latency_hops=45.0)
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(scale=2.0),
+                           extras=extras)
+        assert gate.main([baseline, current]) == 1
+
+
 def test_load_means_reads_benchmark_json(tmp_path):
     path = artifact(tmp_path, "a.json", {"x": 0.5})
     assert gate.load_means(path) == {"x": pytest.approx(0.5)}
+
+
+def test_load_extra_reads_benchmark_json(tmp_path):
+    path = artifact(tmp_path, "a.json", {"x": 0.5},
+                    extras={"x": {"requests_per_sec": 9.0}})
+    assert gate.load_extra(path) == {"x": {"requests_per_sec": 9.0}}

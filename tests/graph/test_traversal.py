@@ -6,6 +6,7 @@ import pytest
 from repro.graph.graph import Graph
 from repro.graph.traversal import (
     csr_bfs_distances,
+    csr_bfs_parents,
     csr_component_labels,
     csr_multi_source_distances,
     csr_shortest_path,
@@ -103,6 +104,60 @@ class TestShortestPath:
         csr = rows(Graph(edges=[(0, 1)]))
         assert csr_shortest_path(csr, 0, 1,
                                  labels=np.array([0, 1])) is None
+
+
+class TestBfsParents:
+    @staticmethod
+    def unwind(parent, source, target):
+        if parent[target] < 0 and target != source:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(int(parent[path[-1]]))
+        path.reverse()
+        return path
+
+    def test_distances_match_bfs(self):
+        csr = rows(Graph(nodes=range(5), edges=[(i, i + 1) for i in range(4)]))
+        parent, dist = csr_bfs_parents(csr, 2)
+        assert dist.tolist() == csr_bfs_distances(csr, 2).tolist()
+        assert parent[2] == -1
+
+    def test_unwinding_reproduces_shortest_path(self):
+        # Dense-ish random graph: every (source, target) unwind must be
+        # byte-identical to the early-exit path search -- the property
+        # the serving router's leg cache rests on.
+        rng = np.random.default_rng(5)
+        n = 24
+        graph = Graph(nodes=range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.15:
+                    graph.add_edge(u, v)
+        csr = rows(graph)
+        for source in range(0, n, 5):
+            parent, _dist = csr_bfs_parents(csr, source)
+            for target in range(n):
+                expected = csr_shortest_path(csr, source, target)
+                assert self.unwind(parent, source, target) == expected
+
+    def test_label_constrained_matches_constrained_search(self):
+        csr = rows(Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]))
+        labels = np.array([0, 0, 0, 9])
+        parent, dist = csr_bfs_parents(csr, 0, labels=labels)
+        assert dist[3] == -1 and parent[3] == -1
+        assert self.unwind(parent, 0, 2) == \
+            csr_shortest_path(csr, 0, 2, labels=labels)
+
+    def test_unreached_rows_marked(self):
+        csr = rows(Graph(nodes=[0, 1, 2], edges=[(0, 1)]))
+        parent, dist = csr_bfs_parents(csr, 0)
+        assert parent.tolist() == [-1, 0, -1]
+        assert dist.tolist() == [0, 1, -1]
+
+    def test_out_of_range_source_raises(self):
+        with pytest.raises(TopologyError):
+            csr_bfs_parents(rows(Graph(nodes=[0])), 3)
 
 
 class TestComponents:

@@ -1,5 +1,7 @@
 """Tests for hierarchical routing."""
 
+import math
+
 import pytest
 
 from repro.graph.generators import line_topology, uniform_topology
@@ -7,11 +9,12 @@ from repro.graph.graph import Graph
 from repro.graph.paths import bfs_distances, is_connected
 from repro.hierarchy.hierarchy import build_hierarchy
 from repro.hierarchy.routing import (
+    UNREACHABLE,
     hierarchical_route,
     route_stretch,
     shortest_path,
 )
-from repro.util.errors import ConfigurationError, TopologyError
+from repro.util.errors import TopologyError
 
 
 @pytest.fixture(scope="module")
@@ -79,10 +82,20 @@ class TestHierarchicalRoute:
             assert hops >= flat
             assert stretch >= 1.0
 
-    def test_disconnected_pair_rejected(self):
+    def test_disconnected_pair_returns_sentinel(self):
         from repro.graph.generators import Topology
         graph = Graph(edges=[(0, 1), (2, 3)])
         topo = Topology(graph)
         hierarchy = build_hierarchy(topo, use_dag=False)
-        with pytest.raises(ConfigurationError):
-            route_stretch(hierarchy, 0, 3)
+        result = route_stretch(hierarchy, 0, 3)
+        assert result == UNREACHABLE
+        assert all(math.isinf(value) for value in result)
+
+    def test_unknown_destination_raises(self):
+        from repro.graph.generators import Topology
+        graph = Graph(edges=[(0, 1)])
+        hierarchy = build_hierarchy(Topology(graph), use_dag=False)
+        with pytest.raises(TopologyError):
+            route_stretch(hierarchy, 0, 99)
+        with pytest.raises(TopologyError):
+            route_stretch(hierarchy, 99, 0)

@@ -1,0 +1,130 @@
+"""The cached router and serving loop: exact equivalence to the
+uncached routines, flat-hop accounting, and the sampling contract."""
+
+import pytest
+
+from repro.collectors import CollectorProxy, LatencyCollector, StretchCollector
+from repro.graph.generators import Topology, uniform_topology
+from repro.graph.graph import Graph
+from repro.graph.paths import is_connected
+from repro.hierarchy.hierarchy import build_hierarchy
+from repro.hierarchy.routing import hierarchical_route, route_stretch
+from repro.workload.generators import Request, poisson_requests
+from repro.workload.serve import CachedRouter, ServedRequest, serve_workload
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    for seed in range(20):
+        topo = uniform_topology(150, 0.15, rng=seed)
+        if is_connected(topo.graph):
+            return topo, build_hierarchy(topo, rng=seed)
+    raise AssertionError("no connected deployment found")
+
+
+def sample_pairs(topo, count=120):
+    nodes = sorted(topo.graph.nodes)
+    return [(nodes[(7 * i) % len(nodes)], nodes[(13 * i + 5) % len(nodes)])
+            for i in range(count)]
+
+
+class TestCachedRouter:
+    def test_routes_equal_hierarchical_route(self, deployment):
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy)
+        for source, destination in sample_pairs(topo):
+            route, head_path = router.route(source, destination)
+            assert route == hierarchical_route(hierarchy, source,
+                                               destination)
+            assert head_path[0] == \
+                hierarchy.physical.clustering.head(source)
+            assert head_path[-1] == \
+                hierarchy.physical.clustering.head(destination)
+
+    def test_cache_reuse_stays_exact(self, deployment):
+        # Serving the same pairs twice must exercise the warm caches
+        # and still agree with the cold answers.
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy)
+        pairs = sample_pairs(topo, count=40)
+        cold = [router.route(s, d) for s, d in pairs]
+        warm = [router.route(s, d) for s, d in pairs]
+        assert cold == warm
+
+    def test_flat_hops_match_route_stretch(self, deployment):
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy)
+        for source, destination in sample_pairs(topo, count=30):
+            hops, flat, _stretch = route_stretch(hierarchy, source,
+                                                 destination)
+            assert router.flat_hops(source, destination) == flat
+            route, _ = router.route(source, destination)
+            assert len(route) - 1 == hops
+
+    def test_flat_cache_eviction_keeps_answers(self, deployment):
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy, flat_cache=4)
+        pairs = sample_pairs(topo, count=30)
+        first = [router.flat_hops(s, d) for s, d in pairs]
+        second = [router.flat_hops(s, d) for s, d in pairs]
+        assert first == second
+        assert len(router._flat) <= 4
+
+    def test_self_route_is_zero_hops(self, deployment):
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy)
+        node = sorted(topo.graph.nodes)[0]
+        served = router.serve(Request(time=0.0, source=node,
+                                      destination=node), with_flat=True)
+        assert served.route == [node]
+        assert served.hops == 0 and served.flat_hops == 0
+
+    def test_disconnected_pair_is_unroutable(self):
+        hierarchy = build_hierarchy(
+            Topology(Graph(edges=[(0, 1), (2, 3)])), use_dag=False)
+        router = CachedRouter(hierarchy)
+        served = router.serve(Request(time=0.0, source=0, destination=3))
+        assert served == ServedRequest(request=served.request, route=None,
+                                       head_path=None, hops=None)
+
+
+class TestServeWorkload:
+    def test_collector_sees_every_request(self, deployment):
+        _topo, hierarchy = deployment
+        nodes = sorted(hierarchy.physical.topology.graph.nodes)
+        proxy = CollectorProxy([LatencyCollector(), StretchCollector()])
+        serve_workload(hierarchy, poisson_requests(nodes, 300, rng=1),
+                       proxy, flat_every=1)
+        results = proxy.results()
+        assert results["latency"]["requests"] == 300
+        assert results["stretch"]["sampled"] == 300
+        assert results["stretch"]["mean"] >= 1.0
+
+    def test_flat_every_samples_stretch_only(self, deployment):
+        _topo, hierarchy = deployment
+        nodes = sorted(hierarchy.physical.topology.graph.nodes)
+        proxy = CollectorProxy([LatencyCollector(), StretchCollector()])
+        serve_workload(hierarchy, poisson_requests(nodes, 300, rng=1),
+                       proxy, flat_every=7)
+        results = proxy.results()
+        assert results["latency"]["requests"] == 300  # latency stays exact
+        assert results["stretch"]["sampled"] == 43  # ceil(300 / 7)
+
+    def test_flat_every_zero_disables_stretch(self, deployment):
+        _topo, hierarchy = deployment
+        nodes = sorted(hierarchy.physical.topology.graph.nodes)
+        proxy = CollectorProxy([StretchCollector()])
+        serve_workload(hierarchy, poisson_requests(nodes, 50, rng=2),
+                       proxy, flat_every=0)
+        assert proxy.results()["stretch"]["sampled"] == 0
+
+    def test_explicit_router_is_reused(self, deployment):
+        _topo, hierarchy = deployment
+        nodes = sorted(hierarchy.physical.topology.graph.nodes)
+        router = CachedRouter(hierarchy)
+        proxy = serve_workload(hierarchy,
+                               poisson_requests(nodes, 20, rng=3),
+                               CollectorProxy([LatencyCollector()]),
+                               router=router)
+        assert proxy.results()["latency"]["requests"] == 20
+        assert router._leg_paths  # warmed by the serve loop
