@@ -21,6 +21,9 @@ Four checks, all loud:
    ``requests_per_sec`` and ``p99_latency_hops`` ``extra_info`` keys;
    throughput is gated calibration-normalized, p99 latency raw.  A
    missing key fails as loudly as a regressed one.
+5. **Scale keys** -- the streaming-construction and 100k-window benches
+   must carry ``nodes_per_sec_built`` / ``windows_per_sec_100k``, gated
+   calibration-normalized like the serving throughput.
 
 A sorted delta table is printed on every run so the bench trajectory is
 visible in the CI log even when everything passes.
@@ -56,6 +59,9 @@ REQUIRED = [
     "test_bench_workload_serve[1000-zipf]",
     "test_bench_workload_serve[5000-uniform]",
     "test_bench_workload_serve[5000-zipf]",
+    "test_bench_streaming_build[100000]",
+    "test_bench_streaming_build[1000000]",
+    "test_bench_clustering_window_100k",
     CALIBRATION,
 ]
 
@@ -67,6 +73,14 @@ REQUIRED = [
 WORKLOAD_BENCHES = [name for name in REQUIRED
                     if name.startswith("test_bench_workload_serve")]
 WORKLOAD_KEYS = ("requests_per_sec", "p99_latency_hops")
+
+# Scale benches must carry a throughput ``extra_info`` key; like the
+# serving throughput it is calibration-normalized before the gate.
+SCALE_BENCHES = {
+    "test_bench_streaming_build[100000]": "nodes_per_sec_built",
+    "test_bench_streaming_build[1000000]": "nodes_per_sec_built",
+    "test_bench_clustering_window_100k": "windows_per_sec_100k",
+}
 
 # (slow bench, fast bench, floor, description): slow/fast must stay >= floor.
 SPEEDUP_FLOORS = [
@@ -162,6 +176,33 @@ def check_workload(baseline_extra, current_extra, scale, threshold):
     return errors
 
 
+def check_scale(baseline_extra, current_extra, scale, threshold):
+    """Gate the scale throughput keys; error strings when absent or
+    regressed beyond ``threshold`` (calibration-normalized)."""
+    errors = []
+    for name, key in SCALE_BENCHES.items():
+        now = current_extra.get(name, {})
+        if key not in now:
+            errors.append(f"{name} is missing extra_info key {key!r} "
+                          "in the fresh artifact")
+            continue
+        base = baseline_extra.get(name, {})
+        if key not in base:
+            errors.append(f"{name} is missing extra_info key {key!r} "
+                          "in the baseline; regenerate BENCH_baseline.json")
+            continue
+        expected = base[key] / scale
+        rate = now[key]
+        print(f"{name} {key}: {rate:,.1f} "
+              f"(expected >= {expected * (1 - threshold):,.1f})")
+        if rate < expected * (1.0 - threshold):
+            errors.append(
+                f"{name} {key} regressed: {rate:,.1f} "
+                f"< {1 - threshold:.0%} of the calibrated "
+                f"{expected:,.1f} baseline")
+    return errors
+
+
 def compare(baseline, current, threshold):
     """Print the sorted delta table; return error strings over threshold.
 
@@ -217,10 +258,13 @@ def main(argv=None):
     if not errors:
         errors += check_floors(current)
         errors += compare(baseline, current, args.threshold)
-        errors += check_workload(load_extra(args.baseline),
-                                 load_extra(args.current),
-                                 calibration_scale(baseline, current),
+        baseline_extra = load_extra(args.baseline)
+        current_extra = load_extra(args.current)
+        scale = calibration_scale(baseline, current)
+        errors += check_workload(baseline_extra, current_extra, scale,
                                  args.threshold)
+        errors += check_scale(baseline_extra, current_extra, scale,
+                              args.threshold)
     if errors:
         for error in errors:
             print(f"FAIL: {error}", file=sys.stderr)

@@ -12,6 +12,7 @@ Usage::
     python -m repro energy
     python -m repro table2 --backend distributed --workers 4
     python -m repro worker --connect host:5555
+    python -m repro doctor --clean-shm
 
 Experiment output is printed as the same plain-text tables the benchmark
 suite shows.  ``--jobs`` fans the Monte-Carlo runs out over worker
@@ -137,9 +138,11 @@ def build_parser():
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list", "worker"],
-                        help="experiment to run, 'list' to enumerate, or "
-                             "'worker' to serve a remote coordinator")
+                        choices=sorted(EXPERIMENTS) + ["doctor", "list",
+                                                       "worker"],
+                        help="experiment to run, 'list' to enumerate, "
+                             "'worker' to serve a remote coordinator, or "
+                             "'doctor' to inspect host state")
     parser.add_argument("--preset", default="quick",
                         help="workload preset: quick (default), paper, smoke")
     parser.add_argument("--seed", type=int, default=2024,
@@ -169,6 +172,10 @@ def build_parser():
                              "silence before its chunk is re-queued "
                              "(default 10; raise it when single runs "
                              "outlast it and workers heartbeat slower)")
+    parser.add_argument("--clean-shm", action="store_true",
+                        help="doctor mode: remove shared-memory segments "
+                             "whose publisher process is dead (the "
+                             "leftovers of a SIGKILLed run)")
     parser.add_argument("--connect", default=None, metavar="HOST:PORT",
                         help="worker mode: coordinator address to serve")
     parser.add_argument("--heartbeat", type=float, default=1.0,
@@ -189,6 +196,28 @@ def _worker_main(args, parser):
     return 0
 
 
+def _doctor_main(args):
+    """Report (and optionally clean) this host's repro shared memory.
+
+    Sessions unlink their segments on exit and an ``atexit`` hook covers
+    crashes that still run Python teardown, but a SIGKILLed publisher
+    leaves its segments holding kernel memory until reboot.  ``doctor``
+    lists what is visible and ``--clean-shm`` removes the orphans (live
+    publishers are never touched).
+    """
+    from repro.graph.shm import clean_orphans, list_segments
+    removed = clean_orphans() if args.clean_shm else []
+    for name in removed:
+        print(f"removed orphaned segment {name}")
+    remaining = list_segments()
+    print(f"{len(remaining)} repro shared-memory segment(s) present"
+          + (f" after removing {len(removed)} orphan(s)"
+             if args.clean_shm else ""))
+    for name in remaining:
+        print(f"  {name}")
+    return 0
+
+
 def _build_executor(args):
     """The executor implied by ``--backend`` (None = historical --jobs)."""
     if args.backend is None:
@@ -206,6 +235,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.experiment == "worker":
         return _worker_main(args, parser)
+    if args.experiment == "doctor":
+        return _doctor_main(args)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):

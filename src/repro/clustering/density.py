@@ -31,6 +31,55 @@ from repro.util.errors import TopologyError
 
 ISOLATED_DENSITY = 0.0
 
+# Node count up to which the float64 image of the exact rational
+# densities is guaranteed injective, making float ranking exact: every
+# density is ``(deg + tri) / deg`` with numerator below ``n**2`` and
+# denominator below ``n``, so distinct values differ by at least
+# ``1/n**2`` while float spacing at the values' magnitude stays below
+# ``n * 2**-52``.  Beyond this bound two distinct Fractions *may* share
+# a float, and consumers that need the exact order must refine float
+# ties (see ``clustering.incremental``).
+FLOAT_EXACT_LIMIT = 100_000
+
+
+def density_float_image(degrees, triangles):
+    """Float64 densities from integer degree/triangle arrays.
+
+    The shared fast-path kernel: ``(deg + tri) / deg`` in one vectorized
+    expression, with isolated rows (``deg == 0``) pinned to
+    :data:`ISOLATED_DENSITY` on every backend.  Each value is the
+    correctly-rounded float of the exact Fraction (one IEEE division of
+    two exact int64s), so rounding is monotone in the exact order --
+    the property the float ranking fast paths build on.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    triangles = np.asarray(triangles, dtype=np.int64)
+    return np.where(
+        degrees > 0,
+        (degrees + triangles) / np.maximum(degrees, 1),
+        ISOLATED_DENSITY,
+    )
+
+
+def float_tie_mask(values):
+    """Boolean mask of entries sharing their float value with another.
+
+    Only at these entries can float ranking disagree with the exact
+    Fraction order (and then only above :data:`FLOAT_EXACT_LIMIT`);
+    the mask is the guard the fast paths use before falling back to
+    Fractions.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    same = sorted_values[1:] == sorted_values[:-1]
+    tied_sorted = np.zeros(len(values), dtype=bool)
+    tied_sorted[1:] |= same
+    tied_sorted[:-1] |= same
+    tied = np.empty(len(values), dtype=bool)
+    tied[order] = tied_sorted
+    return tied
+
 
 def density(graph, node, exact=False):
     """Density of a single node.
@@ -86,9 +135,7 @@ def all_densities(graph, exact=False):
         return {node: Fraction(deg + tri, deg) if deg else Fraction(0)
                 for node, deg, tri
                 in zip(csr.ids, degrees.tolist(), triangles.tolist())}
-    values = np.where(degrees > 0,
-                      (degrees + triangles) / np.maximum(degrees, 1),
-                      ISOLATED_DENSITY)
+    values = density_float_image(degrees, triangles)
     return dict(zip(csr.ids, values.tolist()))
 
 

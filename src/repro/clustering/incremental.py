@@ -17,8 +17,14 @@ per-node rules as array passes:
   ``n**2`` and denominator below ``n``, so distinct values differ by at
   least ``1/n**2`` while float spacing at the values' magnitude is below
   ``n * 2**-52`` -- strictly ordered after rounding for any ``n`` up to
-  :data:`FLOAT_RANK_LIMIT`.  Beyond that (or for custom orders) the
-  engine transparently falls back to the scratch oracle;
+  :data:`FLOAT_RANK_LIMIT`.  Beyond that bound, two distinct Fractions
+  *may* round to one float; the engine then slots an exact *refinement*
+  column into the lexsort -- sub-ranks computed with Fractions, but only
+  inside groups of float-tied rows (float rounding is monotone, so the
+  exact order can only disagree within such a group).  Every election
+  stays bit-identical to the oracle at any scale, and Fractions are
+  touched only where float ties are possible.  Custom orders still route
+  through the scratch oracle;
 * the Section 4.2 parent choice becomes a vectorized per-row argmax over
   neighbor ranks on the CSR snapshot; the Section 4.3 fusion greedy runs
   in Python but only over the (few) local maxima, with two-hop
@@ -44,8 +50,10 @@ from repro.clustering.order import BasicOrder, IncumbentOrder, make_order
 from repro.clustering.result import Clustering
 
 # Above this node count the float image of the exact rational densities
-# is no longer guaranteed injective (see module docstring); the engine
-# falls back to the scratch oracle's tuple comparisons.
+# is no longer guaranteed injective (clustering.density.FLOAT_EXACT_LIMIT
+# derives the bound); the engine then adds the exact refinement column
+# to the lexsort.  Module-level so tests can lower it to force the
+# refinement path on small graphs.
 FLOAT_RANK_LIMIT = 100_000
 
 
@@ -78,6 +86,7 @@ class IncrementalElection:
         self._dag = None
         self._density = None
         self._tied = None  # density-tie mask cache, None = stale
+        self._refine = None  # exact tie-refinement cache, None = stale
         self._is_head = None
         self._last = None
 
@@ -102,7 +111,7 @@ class IncrementalElection:
         for a live node).  Re-mapping tie identifiers mid-sequence
         requires a fresh engine.
         """
-        if not self._vectorizable or len(graph) > FLOAT_RANK_LIMIT:
+        if not self._vectorizable:
             self._last = compute_clustering(
                 graph, tie_ids=tie_ids, dag_ids=dag_ids, order=self.order,
                 fusion=self.fusion, previous=previous, densities=densities)
@@ -124,12 +133,14 @@ class IncrementalElection:
                 (float(densities[node]) for node in ids),
                 dtype=np.float64, count=n)
             self._tied = None
+            self._refine = None
         elif density_changed:
             index_of = csr.index_of
             density = self._density
             for node in density_changed:
                 density[index_of[node]] = float(densities[node])
             self._tied = None
+            self._refine = None
 
         if dag_changed:
             self._dag = None if dag_ids is None else np.fromiter(
@@ -158,7 +169,8 @@ class IncrementalElection:
             # and fusion are provably unchanged.
             return self._last
 
-        ranks = self._ranks()
+        refine = self._refinement(densities) if n > FLOAT_RANK_LIMIT else None
+        ranks = self._ranks(refine)
         parent_idx, self_wins = _basic_parents(csr, ranks)
         if self.fusion:
             _fusion_adjust(csr, ranks, parent_idx, self_wins)
@@ -174,9 +186,12 @@ class IncrementalElection:
 
         Only at these nodes can the incumbent flag (or any lower-order
         key component) influence ``≺``.  Cached until a density write
-        invalidates it; the float image is exact below
-        :data:`FLOAT_RANK_LIMIT` (module docstring), so float equality
-        here coincides with equality of the underlying Fractions.
+        invalidates it.  Below :data:`FLOAT_RANK_LIMIT` the float image
+        is exact (module docstring), so float equality coincides with
+        equality of the underlying Fractions; above it the float-tie
+        mask is a *superset* of the exact ties, which keeps every use
+        (the incumbent-flip short-circuit, the refinement scope)
+        conservative.
         """
         if self._tied is None:
             density = self._density
@@ -190,19 +205,61 @@ class IncrementalElection:
             self._tied[order] = tied_sorted
         return self._tied
 
-    def _ranks(self):
+    def _refinement(self, densities):
+        """Exact tie-breaking column for rows beyond the float-image bound.
+
+        Above :data:`FLOAT_RANK_LIMIT` two *distinct* Fractions may round
+        to the same float.  Within each group of float-tied rows this
+        assigns sub-ranks by the exact Fraction order (equal Fractions
+        share a sub-rank); everywhere else it is 0.  Slotted into the
+        lexsort directly under the density column, the composite key
+        ``(float density, refinement)`` realizes the oracle's exact
+        ``<``: float rounding is monotone, so across different float
+        values the float order already agrees with the exact order, and
+        within one float value the refinement decides.  Fractions are
+        compared only over the (rare) float-tied rows; cached until a
+        density write invalidates it.
+        """
+        if self._refine is None:
+            refine = np.zeros(len(self._density), dtype=np.int64)
+            tied_rows = np.flatnonzero(self._density_tied())
+            if tied_rows.size:
+                ids = self._ids
+                values = self._density
+                by_value = tied_rows[np.argsort(values[tied_rows], kind="stable")]
+                rows = by_value.tolist()
+                start = 0
+                while start < len(rows):
+                    stop = start + 1
+                    value = values[rows[start]]
+                    while stop < len(rows) and values[rows[stop]] == value:
+                        stop += 1
+                    group = rows[start:stop]
+                    exact = sorted({densities[ids[row]] for row in group})
+                    if len(exact) > 1:
+                        sub = {fraction: k for k, fraction in enumerate(exact)}
+                        for row in group:
+                            refine[row] = sub[densities[ids[row]]]
+                    start = stop
+            self._refine = refine
+        return self._refine
+
+    def _ranks(self, refine=None):
         """Rank of every row under ``≺`` (greater rank wins).
 
         One lexsort over the key columns in the exact precedence of
-        ``order.key``: density, then (incumbent order only) head status,
-        then DAG name, then tie identifier -- the identifier components
-        negated because smaller identifiers win.
+        ``order.key``: density (refined by the exact column when given),
+        then (incumbent order only) head status, then DAG name, then tie
+        identifier -- the identifier components negated because smaller
+        identifiers win.
         """
         cols = [-self._tie]
         if self._dag is not None:
             cols.append(-self._dag)
         if self._incumbent:
             cols.append(self._is_head)
+        if refine is not None:
+            cols.append(refine)
         cols.append(self._density)
         order = np.lexsort(tuple(cols))
         ranks = np.empty(len(order), dtype=np.int64)

@@ -46,6 +46,7 @@ from multiprocessing import get_context
 from typing import Callable
 
 from repro.experiments.common import get_preset
+from repro.graph.shm import share_graphs
 from repro.util.errors import ConfigurationError
 
 BACKENDS = ("serial", "pool", "distributed")
@@ -146,6 +147,13 @@ class PoolExecutor(Executor):
     ...); the platform default is used when ``None``, and the
     ``REPRO_MP_CONTEXT`` environment variable overrides that default.
     A single-task submission (or ``jobs=1``) stays in-process.
+
+    While the pool maps, a :func:`repro.graph.shm.share_graphs` session
+    is active, so tasks that embed big graphs pickle them as
+    shared-memory handles the workers attach to zero-copy instead of
+    per-task adjacency copies.  The distributed backend never activates
+    a session -- its workers may live on other hosts, so its wire
+    protocol keeps pickling graphs.
     """
 
     name = "pool"
@@ -162,8 +170,12 @@ class PoolExecutor(Executor):
         if mp_context is None:
             mp_context = os.environ.get("REPRO_MP_CONTEXT") or None
         context = get_context(mp_context)
+        # The pool is created *before* the session activates so forked
+        # children never inherit it (a worker publishing segments while
+        # pickling its results would leak them).
         with context.Pool(processes=min(self.jobs, len(tasks))) as pool:
-            return pool.map(run, tasks)
+            with share_graphs():
+                return pool.map(run, tasks)
 
 
 def make_executor(backend, jobs=1, mp_context=None, **options):

@@ -13,6 +13,7 @@ from repro.graph.generators import (
     uniform_topology,
 )
 from repro.graph.geometry import (
+    chunk_pairs,
     pairs_within_range,
     pairwise_within_range,
     unit_disk_graph,
@@ -58,6 +59,7 @@ __all__ = [
     "INFINITY",
     "bfs_distances",
     "bfs_distances_reference",
+    "chunk_pairs",
     "complete_topology",
     "connected_components",
     "connected_components_reference",

@@ -40,7 +40,7 @@ class CSRAdjacency:
     indptr[i+1]]`` are the neighbors of row ``i``, sorted ascending.
     """
 
-    __slots__ = ("indptr", "indices", "ids", "index_of", "_triangles")
+    __slots__ = ("indptr", "indices", "ids", "_index_of", "_triangles")
 
     def __init__(self, indptr, indices, ids):
         indptr = np.ascontiguousarray(indptr, dtype=np.int32)
@@ -55,12 +55,25 @@ class CSRAdjacency:
         object.__setattr__(self, "indptr", indptr)
         object.__setattr__(self, "indices", indices)
         object.__setattr__(self, "ids", ids)
-        object.__setattr__(self, "index_of",
-                           {node: i for i, node in enumerate(ids)})
+        object.__setattr__(self, "_index_of", None)
         object.__setattr__(self, "_triangles", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("CSRAdjacency is frozen")
+
+    @property
+    def index_of(self):
+        """Node identifier -> row index, built lazily.
+
+        Million-node snapshots that only ever serve array analytics (or
+        are attached zero-copy from shared memory) never pay for the
+        Python dict; identifier-world callers build it on first use.
+        """
+        if self._index_of is None:
+            object.__setattr__(
+                self, "_index_of", {node: i for i, node in enumerate(self.ids)}
+            )
+        return self._index_of
 
     # ------------------------------------------------------------------
     # construction

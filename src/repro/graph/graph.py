@@ -13,12 +13,24 @@ Two construction regimes coexist:
   workloads that ingest the whole ``pairs_within_range`` array at once --
   adjacency sets are filled per *node* with vectorized grouping, never
   per edge, and self-loop rejection plus the symmetry invariant hold
-  exactly as on the incremental path.
+  exactly as on the incremental path;
+* streamed (``from_pair_chunks``), for million-node builds: only compact
+  ``int32`` pair arrays are accumulated and the dict adjacency is
+  materialized *lazily* from the CSR snapshot on first dict-shaped
+  access, so read-only consumers never pay for per-node Python sets.
 
 ``to_csr`` exposes a frozen :class:`~repro.graph.csr.CSRAdjacency`
 snapshot for array-speed analytics; it is built on first use, cached, and
 invalidated by any mutation, so repeated reads over an unchanged graph
 reuse it in O(1).
+
+Pickling is payload-aware: when a shared-memory share session is active
+(:func:`repro.graph.shm.share_graphs`, used by the pool backend), big
+graphs serialize as a tiny ``SharedCSR`` handle and workers attach to the
+publisher's frozen arrays zero-copy; lazy graphs ship their compact pair
+arrays; plain dict graphs pickle as before.  The distributed (TCP)
+backend never activates a session, so its wire protocol still pickles --
+that seam is documented, not hidden.
 """
 
 import numpy as np
@@ -43,6 +55,40 @@ class Graph:
             self.add_node(node)
         for u, v in edges:
             self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # adjacency backend (eager dict, or lazy behind a CSR snapshot)
+    # ------------------------------------------------------------------
+
+    @property
+    def _adj(self):
+        if self._adj_map is None:
+            self._materialize_adj()
+        return self._adj_map
+
+    @_adj.setter
+    def _adj(self, value):
+        self._adj_map = value
+
+    def _materialize_adj(self):
+        """Build the dict adjacency from the CSR snapshot (lazy graphs).
+
+        Graphs built by :meth:`from_pair_chunks` -- and graphs attached
+        from a shared-memory snapshot -- carry only the CSR arrays until a
+        caller needs dict semantics.  Neighbor sets are filled in
+        ascending index order: identical *contents* to the eager path,
+        though not necessarily the same set iteration order.
+        """
+        csr = self._csr
+        if csr is None:
+            raise TopologyError("lazy graph has no CSR snapshot to materialize")
+        ids = csr.ids
+        indptr = csr.indptr.tolist()
+        flat = csr.indices.tolist()
+        adj = {}
+        for i, node in enumerate(ids):
+            adj[node] = {ids[j] for j in flat[indptr[i] : indptr[i + 1]]}
+        self._adj_map = adj
 
     # ------------------------------------------------------------------
     # construction
@@ -153,6 +199,72 @@ class Graph:
         graph._csr = CSRAdjacency.from_pairs(lo, hi, ids)
         return graph
 
+    @classmethod
+    def from_pair_chunks(cls, chunks, node_ids):
+        """Build a graph from a stream of canonical index-pair chunks.
+
+        ``chunks`` yields ``(k, 2)`` integer arrays of *positions* whose
+        concatenation must be strictly lexicographically increasing with
+        ``i < j`` per row -- the :func:`~repro.graph.geometry.chunk_pairs`
+        contract, which also rules out duplicates and self-loops.
+        ``node_ids`` is as in :meth:`from_pair_array`.
+
+        Only the compact ``int32`` pair arrays are accumulated (never a
+        chunk's candidate expansion, and never a per-edge Python loop),
+        and the result carries just the CSR snapshot: the dict adjacency
+        is materialized lazily on first dict-shaped access, so a
+        10^6-node build stays within a few hundred MB.
+        """
+        if isinstance(node_ids, (int, np.integer)):
+            n = int(node_ids)
+            ids = range(n)
+        else:
+            ids = list(node_ids)
+            n = len(ids)
+            if len(set(ids)) != n:
+                raise TopologyError("node identifiers must be unique")
+        if n >= 2**31:
+            raise TopologyError("chunked construction is limited to int32 rows")
+        lo_parts = []
+        hi_parts = []
+        last_key = -1
+        for pairs in chunks:
+            pairs = np.asarray(pairs)
+            if pairs.size == 0:
+                continue
+            if pairs.ndim != 2 or pairs.shape[1] != 2:
+                raise TopologyError("pair chunks must be (k, 2) arrays")
+            if not np.issubdtype(pairs.dtype, np.integer):
+                raise TopologyError("pair chunks must contain integer positions")
+            if int(pairs.min()) < 0 or int(pairs.max()) >= n:
+                raise TopologyError(
+                    f"pair positions must lie in [0, {n}), got range "
+                    f"[{int(pairs.min())}, {int(pairs.max())}]"
+                )
+            lo = pairs[:, 0].astype(np.int64)
+            hi = pairs[:, 1].astype(np.int64)
+            keys = lo * n + hi
+            bad = (lo >= hi).any() or int(keys[0]) <= last_key
+            if not bad and len(keys) > 1:
+                bad = bool((np.diff(keys) <= 0).any())
+            if bad:
+                raise TopologyError(
+                    "pair chunks must be canonical: i < j rows, strictly "
+                    "lexicographically increasing across the whole stream"
+                )
+            last_key = int(keys[-1])
+            lo_parts.append(lo.astype(np.int32))
+            hi_parts.append(hi.astype(np.int32))
+        if lo_parts:
+            lo = np.concatenate(lo_parts)
+            hi = np.concatenate(hi_parts)
+        else:
+            lo = hi = np.empty(0, dtype=np.int32)
+        graph = cls()
+        graph._adj_map = None
+        graph._csr = CSRAdjacency.from_pairs(lo, hi, ids)
+        return graph
+
     def _bulk_merge(self, lo, hi, to_id):
         """Merge canonical pairs into the adjacency sets, one node at a time.
 
@@ -209,8 +321,8 @@ class Graph:
         u, v)`` runs once the edge is in place.  The CSR snapshot is
         invalidated once for the whole batch.
         """
+        adj = self._adj  # materialize (lazy graphs) before dropping the CSR
         self._csr = None
-        adj = self._adj
         if isinstance(removed, np.ndarray):
             removed = removed.tolist()
         for u, v in removed:
@@ -248,7 +360,11 @@ class Graph:
     def copy(self):
         """Return an independent copy of this graph."""
         clone = Graph()
-        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        clone._adj_map = (
+            None
+            if self._adj_map is None
+            else {node: set(nbrs) for node, nbrs in self._adj_map.items()}
+        )
         # The snapshot is immutable and describes the same structure, so
         # the copy can share it until either side mutates.
         clone._csr = self._csr
@@ -259,27 +375,61 @@ class Graph:
     # ------------------------------------------------------------------
 
     def __contains__(self, node):
-        return node in self._adj
+        if self._adj_map is None:
+            return node in self._csr.index_of
+        return node in self._adj_map
 
     def __len__(self):
-        return len(self._adj)
+        if self._adj_map is None:
+            return len(self._csr.ids)
+        return len(self._adj_map)
 
     def __iter__(self):
-        return iter(self._adj)
+        if self._adj_map is None:
+            return iter(self._csr.ids)
+        return iter(self._adj_map)
 
     def __getstate__(self):
-        # Drop the cached snapshot: it is cheap to rebuild and would bloat
-        # the payloads shipped to experiment worker processes.
-        return {"_adj": self._adj}
+        # Payload-aware pickling, in order of preference: a shared-memory
+        # handle when a share session is active and the graph is big
+        # enough (pool workers attach zero-copy); the compact int32 pair
+        # arrays for lazy graphs; the dict adjacency otherwise (the
+        # cached snapshot is dropped -- cheap to rebuild, bulky on the
+        # wire).
+        handle = _shm_handle(self)
+        if handle is not None:
+            return {"_shm": handle}
+        if self._adj_map is None:
+            csr = self._csr
+            row, col = csr.edge_arrays()
+            ids = csr.ids
+            if ids == tuple(range(len(ids))):
+                ids = len(ids)
+            return {"_pairs": (row.astype(np.int32), col.astype(np.int32), ids)}
+        return {"_adj": self._adj_map}
 
     def __setstate__(self, state):
-        self._adj = state["_adj"]
-        self._csr = None
+        if "_shm" in state:
+            self._adj_map = None
+            self._csr = state["_shm"].attach()
+        elif "_pairs" in state:
+            lo, hi, ids = state["_pairs"]
+            if isinstance(ids, int):
+                ids = range(ids)
+            self._adj_map = None
+            self._csr = CSRAdjacency.from_pairs(
+                lo.astype(np.int64), hi.astype(np.int64), ids
+            )
+        else:
+            self._adj_map = state["_adj"]
+            self._csr = None
 
     @property
     def nodes(self):
         """All node identifiers, in insertion order."""
-        return list(self._adj)
+        if self._adj_map is None:
+            return list(self._csr.ids)
+        return list(self._adj_map)
 
     @property
     def edges(self):
@@ -321,20 +471,32 @@ class Graph:
         edge count are cross-checked here as a cheap guard, the full
         equivalence is the property suite's job.
         """
-        if len(csr) != len(self._adj) or csr.edge_count() != self.edge_count():
+        if len(csr) != len(self) or csr.edge_count() != self.edge_count():
             raise TopologyError(
                 "adopted CSR snapshot does not match the graph's shape")
         self._csr = csr
 
     def has_edge(self, u, v):
         """True iff the undirected edge ``{u, v}`` exists."""
-        return u in self._adj and v in self._adj[u]
+        if self._adj_map is None:
+            index_of = self._csr.index_of
+            if u not in index_of or v not in index_of:
+                return False
+            return self._csr.has_edge(index_of[u], index_of[v])
+        return u in self._adj_map and v in self._adj_map[u]
 
     def neighbors(self, node):
         """``Np``: the 1-neighborhood of ``node`` (node itself excluded)."""
-        if node not in self._adj:
+        if self._adj_map is None:
+            csr = self._csr
+            index = csr.index_of.get(node)
+            if index is None:
+                raise TopologyError(f"node {node!r} not in graph")
+            ids = csr.ids
+            return {ids[j] for j in csr.neighbors_of(index).tolist()}
+        if node not in self._adj_map:
             raise TopologyError(f"node {node!r} not in graph")
-        return set(self._adj[node])
+        return set(self._adj_map[node])
 
     def common_neighbors(self, u, v):
         """``Nu ∩ Nv``: nodes adjacent to both ``u`` and ``v``.
@@ -358,15 +520,24 @@ class Graph:
 
     def degree(self, node):
         """``|Np|``."""
-        if node not in self._adj:
+        if self._adj_map is None:
+            csr = self._csr
+            index = csr.index_of.get(node)
+            if index is None:
+                raise TopologyError(f"node {node!r} not in graph")
+            return int(csr.indptr[index + 1] - csr.indptr[index])
+        if node not in self._adj_map:
             raise TopologyError(f"node {node!r} not in graph")
-        return len(self._adj[node])
+        return len(self._adj_map[node])
 
     def max_degree(self):
         """``δ``: the maximum degree over all nodes (0 for an empty graph)."""
-        if not self._adj:
+        if self._adj_map is None:
+            degrees = self._csr.degrees()
+            return int(degrees.max()) if len(degrees) else 0
+        if not self._adj_map:
             return 0
-        return max(len(nbrs) for nbrs in self._adj.values())
+        return max(len(nbrs) for nbrs in self._adj_map.values())
 
     def k_neighborhood(self, node, k):
         """``N^k_p``: every node within ``k`` hops of ``node``, excluding it.
@@ -388,7 +559,9 @@ class Graph:
 
     def edge_count(self):
         """Number of undirected edges (degree sum halved; no edge list)."""
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        if self._adj_map is None:
+            return self._csr.edge_count()
+        return sum(len(nbrs) for nbrs in self._adj_map.values()) // 2
 
     def induced_subgraph(self, nodes):
         """The subgraph induced by ``nodes`` (unknown nodes are errors)."""
@@ -416,3 +589,18 @@ class Graph:
 
     def __repr__(self):
         return f"Graph(n={len(self)}, m={self.edge_count()})"
+
+
+def _shm_handle(graph):
+    """The graph's ``SharedCSR`` handle when a share session wants it.
+
+    Returns ``None`` when no session is active or the graph is below the
+    session's size threshold; the import stays local so plain pickling
+    never touches the shared-memory machinery.
+    """
+    from repro.graph import shm
+
+    session = shm.active_session()
+    if session is None:
+        return None
+    return session.handle_for(graph)

@@ -36,9 +36,13 @@ def full_means(scale=1.0, **overrides):
 
 def full_extras(scale=1.0):
     # p99 latency is hop counts -- machine speed never moves it.
-    return {name: {"requests_per_sec": 50_000.0 / scale,
-                   "p99_latency_hops": 30.0}
-            for name in gate.WORKLOAD_BENCHES}
+    extras = {name: {"requests_per_sec": 50_000.0 / scale,
+                     "p99_latency_hops": 30.0}
+              for name in gate.WORKLOAD_BENCHES}
+    # Scale throughput keys normalize like the serving throughput.
+    for name, key in gate.SCALE_BENCHES.items():
+        extras.setdefault(name, {})[key] = 40_000.0 / scale
+    return extras
 
 
 class TestCompleteness:
@@ -161,6 +165,34 @@ class TestWorkloadKeys:
         current = artifact(tmp_path, "current.json", full_means(scale=2.0),
                            extras=extras)
         assert gate.main([baseline, current]) == 1
+
+
+class TestScaleKeys:
+    def test_missing_scale_key_fails(self, tmp_path, capsys):
+        extras = full_extras()
+        bench = next(iter(gate.SCALE_BENCHES))
+        extras[bench] = {}
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(),
+                           extras=extras)
+        assert gate.main([baseline, current]) == 1
+        assert "missing extra_info key" in capsys.readouterr().err
+
+    def test_throughput_regression_fails(self, tmp_path, capsys):
+        extras = full_extras()
+        bench, key = next(iter(gate.SCALE_BENCHES.items()))
+        extras[bench] = dict(extras[bench], **{key: 20_000.0})
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(),
+                           extras=extras)
+        assert gate.main([baseline, current]) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_slow_machine_build_rate_is_normalized(self, tmp_path):
+        baseline = artifact(tmp_path, "base.json", full_means())
+        current = artifact(tmp_path, "current.json", full_means(scale=2.0),
+                           extras=full_extras(scale=2.0))
+        assert gate.main([baseline, current]) == 0
 
 
 def test_load_means_reads_benchmark_json(tmp_path):

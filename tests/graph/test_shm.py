@@ -1,0 +1,173 @@
+"""Shared-memory CSR distribution: round-trips, payloads, lifecycle."""
+
+import os
+import pickle
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.graph import shm
+from repro.graph.geometry import chunk_pairs
+from repro.graph.graph import Graph
+from repro.graph.shm import (
+    SharedCSR,
+    active_session,
+    clean_orphans,
+    list_segments,
+    share_graphs,
+)
+
+
+def big_graph(seed=3, count=3000, radius=0.05):
+    points = np.random.default_rng(seed).uniform(0, 1, size=(count, 2))
+    return Graph.from_pair_chunks(chunk_pairs(points, radius), count)
+
+
+def small_graph():
+    graph = Graph(nodes=range(6))
+    graph.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    return graph
+
+
+class TestSharedCSRRoundTrip:
+    def test_attach_reproduces_arrays_ids_and_triangles(self):
+        graph = big_graph()
+        csr = graph.to_csr()
+        csr.triangle_counts()  # memoize so the segment carries them
+        handle = SharedCSR.publish(csr)
+        try:
+            attached = handle.attach()
+            assert np.array_equal(attached.indptr, csr.indptr)
+            assert np.array_equal(attached.indices, csr.indices)
+            assert list(attached.ids) == list(csr.ids)
+            assert attached.index_of == csr.index_of
+            assert attached._triangles is not None
+            assert np.array_equal(attached.triangle_counts(),
+                                  csr.triangle_counts())
+        finally:
+            handle.unlink()
+
+    def test_non_identity_ids_ride_the_segment(self):
+        graph = Graph(nodes=[f"n{i}" for i in range(5)])
+        graph.add_edges_from([("n0", "n1"), ("n1", "n4"), ("n2", "n3")])
+        handle = SharedCSR.publish(graph.to_csr())
+        try:
+            attached = handle.attach()
+            assert list(attached.ids) == [f"n{i}" for i in range(5)]
+            assert attached.has_edge(attached.index_of["n1"],
+                                     attached.index_of["n4"])
+        finally:
+            handle.unlink()
+
+    def test_handle_pickles_to_a_few_hundred_bytes(self):
+        handle = SharedCSR.publish(big_graph().to_csr())
+        try:
+            payload = pickle.dumps(handle)
+            assert len(payload) < 300
+            clone = pickle.loads(payload)
+            assert clone.name == handle.name
+            assert clone.nnz == handle.nnz
+        finally:
+            handle.unlink()
+
+
+class TestShareSession:
+    def test_big_graph_pickles_as_handle(self):
+        graph = big_graph()
+        plain = pickle.dumps(graph)
+        with share_graphs(min_bytes=1024):
+            shared = pickle.dumps(graph)
+            # The per-task payload carries no CSR arrays, only the handle.
+            assert len(shared) < 1024
+            assert len(shared) < len(plain) // 100
+            clone = pickle.loads(shared)
+            assert clone.nodes == graph.nodes
+            assert clone.edge_count() == graph.edge_count()
+            assert clone.neighbors(7) == graph.neighbors(7)
+
+    def test_graph_published_once_per_session(self):
+        graph = big_graph()
+        with share_graphs(min_bytes=1024) as session:
+            first = session.handle_for(graph)
+            second = session.handle_for(graph)
+            assert first is second
+
+    def test_small_graph_stays_plain(self):
+        graph = small_graph()
+        before = list_segments()
+        with share_graphs(min_bytes=1 << 20):
+            clone = pickle.loads(pickle.dumps(graph))
+            assert list_segments() == before
+        assert clone.edges == graph.edges
+
+    def test_session_unlinks_segments_on_exit(self):
+        graph = big_graph()
+        before = set(list_segments())
+        with share_graphs(min_bytes=1024):
+            pickle.dumps(graph)
+            during = set(list_segments()) - before
+            assert during  # something was published...
+        assert set(list_segments()) - before == set()  # ...and unlinked
+
+    def test_disable_env_keeps_plain_pickling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_DISABLE", "1")
+        graph = big_graph()
+        before = list_segments()
+        with share_graphs(min_bytes=1024) as session:
+            assert session is None
+            assert active_session() is None
+            assert len(pickle.dumps(graph)) > 10_000
+        assert list_segments() == before
+
+    def test_nested_sessions_reuse_the_outer(self):
+        with share_graphs(min_bytes=1024) as outer:
+            with share_graphs(min_bytes=999_999) as inner:
+                assert inner is outer
+
+
+class TestLifecycle:
+    def test_clean_orphans_removes_dead_publishers_only(self):
+        live = SharedCSR.publish(small_graph().to_csr())
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        dead_pid = proc.pid  # reaped, so this pid is dead by construction
+        orphan = f"repro-csr-{dead_pid}-deadbeef"
+        path = os.path.join("/dev/shm", orphan)
+        try:
+            with open(path, "wb") as fh:
+                fh.write(b"\0" * 64)
+            removed = clean_orphans()
+            assert orphan in removed
+            assert orphan not in list_segments()
+            assert live.name in list_segments()  # live publisher untouched
+        finally:
+            live.unlink()
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def test_unlink_is_idempotent(self):
+        handle = SharedCSR.publish(small_graph().to_csr())
+        handle.unlink()
+        handle.unlink()
+        assert handle.name not in list_segments()
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                    reason="no POSIX shared memory on this host")
+class TestWorkerAttach:
+    def test_forked_pool_tasks_see_the_shared_graph(self):
+        from repro.experiments.engine import PoolExecutor
+
+        graph = big_graph(seed=9, count=2500)
+        executor = PoolExecutor(jobs=2)
+        with share_graphs(min_bytes=1024):
+            degrees = executor.submit_all(
+                [(graph, node) for node in (0, 100, 2000)], _degree_of)
+        assert degrees == [graph.degree(0), graph.degree(100),
+                           graph.degree(2000)]
+
+
+def _degree_of(task):
+    graph, node = task
+    return graph.degree(node)

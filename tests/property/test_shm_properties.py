@@ -1,0 +1,70 @@
+"""Property tests: shared-memory CSR round-trips and float densities."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.clustering.density import all_densities
+from repro.graph.graph import Graph
+from repro.graph.shm import SharedCSR
+
+from tests.property.strategies import graphs
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs())
+def test_shared_csr_roundtrip_is_exact(graph):
+    csr = graph.to_csr()
+    csr.triangle_counts()  # memoize, so attach must carry them over
+    handle = SharedCSR.publish(csr)
+    try:
+        attached = handle.attach()
+        assert np.array_equal(attached.indptr, csr.indptr)
+        assert np.array_equal(attached.indices, csr.indices)
+        assert list(attached.ids) == list(csr.ids)
+        assert attached.index_of == csr.index_of
+        assert np.array_equal(attached.triangle_counts(),
+                              csr.triangle_counts())
+        assert attached.edge_count() == csr.edge_count()
+    finally:
+        handle.unlink()
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs())
+def test_shared_csr_roundtrip_with_relabeled_ids(graph):
+    relabeled = Graph(nodes=[f"v{node}" for node in graph])
+    relabeled.add_edges_from((f"v{u}", f"v{v}") for u, v in graph.edges)
+    csr = relabeled.to_csr()
+    handle = SharedCSR.publish(csr)
+    try:
+        attached = handle.attach()
+        assert list(attached.ids) == list(csr.ids)
+        assert np.array_equal(attached.indices, csr.indices)
+    finally:
+        handle.unlink()
+
+
+@settings(max_examples=60)
+@given(graph=graphs())
+def test_float_density_is_the_rounded_exact_fraction(graph):
+    exact = all_densities(graph, exact=True)
+    fast = all_densities(graph, exact=False)
+    for node in graph:
+        assert fast[node] == float(exact[node])
+
+
+@settings(max_examples=60)
+@given(graph=graphs())
+def test_float_order_agrees_with_exact_order_up_to_ties(graph):
+    exact = all_densities(graph, exact=True)
+    fast = all_densities(graph, exact=False)
+    nodes = list(graph)
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if fast[u] != fast[v]:
+                # Distinct floats: monotone rounding preserves the order.
+                assert (fast[u] < fast[v]) == (exact[u] < exact[v])
+            else:
+                # A float tie can only hide an exact tie at these sizes
+                # (the FLOAT_EXACT_LIMIT injectivity bound).
+                assert exact[u] == exact[v]
