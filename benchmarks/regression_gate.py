@@ -55,6 +55,18 @@ REQUIRED = [
     "test_bench_sparse_movers_delta[5000]",
     "test_bench_sparse_movers_rebuild[1000]",
     "test_bench_sparse_movers_rebuild[5000]",
+    "test_bench_baseline_windows_delta[1000-degree]",
+    "test_bench_baseline_windows_delta[1000-lowest-id]",
+    "test_bench_baseline_windows_delta[1000-max-min]",
+    "test_bench_baseline_windows_delta[5000-degree]",
+    "test_bench_baseline_windows_delta[5000-lowest-id]",
+    "test_bench_baseline_windows_delta[5000-max-min]",
+    "test_bench_baseline_windows_rebuild[1000-degree]",
+    "test_bench_baseline_windows_rebuild[1000-lowest-id]",
+    "test_bench_baseline_windows_rebuild[1000-max-min]",
+    "test_bench_baseline_windows_rebuild[5000-degree]",
+    "test_bench_baseline_windows_rebuild[5000-lowest-id]",
+    "test_bench_baseline_windows_rebuild[5000-max-min]",
     "test_bench_workload_serve[1000-uniform]",
     "test_bench_workload_serve[1000-zipf]",
     "test_bench_workload_serve[5000-uniform]",
@@ -76,17 +88,27 @@ WORKLOAD_KEYS = ("requests_per_sec", "p99_latency_hops")
 
 # Scale benches must carry a throughput ``extra_info`` key; like the
 # serving throughput it is calibration-normalized before the gate.
+# The baseline-engine benches report ``windows_per_sec`` the same way.
 SCALE_BENCHES = {
     "test_bench_streaming_build[100000]": "nodes_per_sec_built",
     "test_bench_streaming_build[1000000]": "nodes_per_sec_built",
     "test_bench_clustering_window_100k": "windows_per_sec_100k",
 }
+SCALE_BENCHES.update(
+    {name: "windows_per_sec" for name in REQUIRED
+     if name.startswith("test_bench_baseline_windows_")})
 
 # (slow bench, fast bench, floor, description): slow/fast must stay >= floor.
 SPEEDUP_FLOORS = [
     ("test_bench_mobility_windows_rebuild[5000]",
      "test_bench_mobility_windows_delta[5000]",
      3.0, "5000-node mobility window delta speedup"),
+    ("test_bench_baseline_windows_rebuild[5000-lowest-id]",
+     "test_bench_baseline_windows_delta[5000-lowest-id]",
+     3.0, "5000-node lowest-ID engine per-window speedup"),
+    ("test_bench_baseline_windows_rebuild[5000-degree]",
+     "test_bench_baseline_windows_delta[5000-degree]",
+     3.0, "5000-node degree engine per-window speedup"),
 ]
 
 

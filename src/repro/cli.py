@@ -80,6 +80,14 @@ def _seed_runner(runner):
     return run
 
 
+def _preset_dynamics_runner(runner):
+    """Like :func:`_preset_runner`, also forwarding ``--dynamics``."""
+    def run(args):
+        print(runner(args.preset, rng=args.seed, jobs=args.jobs,
+                     dynamics=args.dynamics))
+    return run
+
+
 EXPERIMENTS = {
     "table1": ("Table 1: densities on the Figure 1 example", _table1),
     "table2": ("Table 2: the step-model learning schedule",
@@ -101,8 +109,7 @@ EXPERIMENTS = {
                  _preset_runner(lambda p, rng, jobs: run_mobility_experiment(
                      p, rng=rng, runs=2, jobs=jobs))),
     "comparison": ("Density vs degree vs lowest-ID vs max-min stability",
-                   _preset_runner(lambda p, rng, jobs: run_comparison(
-                       p, rng=rng, jobs=jobs))),
+                   _preset_dynamics_runner(run_comparison)),
     "scaling": ("Stabilization steps vs grid side (Lemma 2, empirically)",
                 _seed_runner(lambda rng, jobs: run_scaling_experiment(
                     rng=rng, jobs=jobs))),
@@ -119,8 +126,7 @@ EXPERIMENTS = {
                   _seed_runner(lambda rng, jobs: run_intensity_sweep(
                       rng=rng, jobs=jobs))),
     "churn": ("Re-affiliation traffic per metric under mobility",
-              _preset_runner(lambda p, rng, jobs: run_reaffiliation_churn(
-                  p, rng=rng, jobs=jobs))),
+              _preset_dynamics_runner(run_reaffiliation_churn)),
     "beacons": ("Steady-state beacon bytes per protocol configuration",
                 _seed_runner(lambda rng, jobs: run_beacon_cost(
                     rng=rng, jobs=jobs))),
@@ -128,8 +134,7 @@ EXPERIMENTS = {
                    _seed_runner(lambda rng, jobs: run_churn_experiment(
                        rng=rng, jobs=jobs))),
     "workload": ("Serve traffic: latency, link load, head hot-spotting",
-                 _preset_runner(lambda p, rng, jobs: run_workload(
-                     p, rng=rng, jobs=jobs))),
+                 _preset_dynamics_runner(run_workload)),
 }
 
 
@@ -147,6 +152,13 @@ def build_parser():
                         help="workload preset: quick (default), paper, smoke")
     parser.add_argument("--seed", type=int, default=2024,
                         help="root RNG seed (default 2024)")
+    parser.add_argument("--dynamics", choices=("delta", "rebuild"),
+                        default="delta",
+                        help="how mobility experiments advance windows: "
+                             "incremental engines on the exact edge-delta "
+                             "stream (delta, default) or per-window "
+                             "scratch rebuilds (rebuild); output is "
+                             "identical either way")
     parser.add_argument("--jobs", default=1, type=_jobs_arg,
                         help="worker processes for Monte-Carlo runs "
                              "(default 1; 0 or 'auto' = all cores); "

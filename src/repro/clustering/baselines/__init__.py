@@ -1,7 +1,17 @@
 """Baseline clustering heuristics the density metric is compared against."""
 
 from repro.clustering.baselines.degree import degree_clustering
+from repro.clustering.baselines.incremental import (
+    GreedyDominatingEngine,
+    MaxMinEngine,
+)
 from repro.clustering.baselines.lowest_id import lowest_id_clustering
 from repro.clustering.baselines.maxmin import maxmin_clustering
 
-__all__ = ["degree_clustering", "lowest_id_clustering", "maxmin_clustering"]
+__all__ = [
+    "GreedyDominatingEngine",
+    "MaxMinEngine",
+    "degree_clustering",
+    "lowest_id_clustering",
+    "maxmin_clustering",
+]

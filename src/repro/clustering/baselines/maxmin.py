@@ -23,6 +23,16 @@ Membership is the set of nodes that selected a given head.  A node whose
 selected head is unreachable through same-cluster nodes (a known max-min
 artifact on sparse graphs) falls back to electing itself; this keeps the
 result a valid connected clustering and is called out in DESIGN.md.
+
+The hot path runs on the CSR snapshot: the flood logs are ``(d, n)``
+arrays filled by per-round ``maximum``/``minimum`` reductions over
+closed neighborhoods (:func:`flood_logs`), head selection is one array
+pass over the logs (:func:`select_head_ids`), and the per-cluster
+joining trees come from one label-constrained multi-source BFS
+(:func:`cluster_parent_rows`).  The original per-node dict
+implementation survives as :func:`maxmin_clustering_reference`, the
+oracle the vectorized path and the incremental engine
+(``clustering/baselines/incremental.py``) are tested against.
 """
 
 import numpy as np
@@ -31,9 +41,28 @@ from repro.clustering.result import Clustering
 from repro.graph.traversal import csr_multi_source_distances
 from repro.util.errors import ConfigurationError
 
+#: Sentinel above every identifier (identifiers are int64 and unique).
+NO_ID = np.iinfo(np.int64).max
+
 
 def maxmin_clustering(graph, d=2, tie_ids=None):
     """Max-Min d-cluster heads and membership over ``graph``."""
+    tie_ids = _checked_tie_ids(graph, d, tie_ids)
+    csr = graph.to_csr()
+    n = len(csr)
+    if n == 0:
+        return Clustering(graph, {})
+    tie = np.fromiter((tie_ids[node] for node in csr.ids), dtype=np.int64, count=n)
+    max_log, min_log = flood_logs(csr, tie, d)
+    head_id = select_head_ids(tie, max_log, min_log)
+    labels = normalize_membership(tie, head_id)
+    parent_rows = cluster_parent_rows(csr, tie, labels)
+    ids = csr.ids
+    parents = {ids[i]: ids[p] for i, p in enumerate(parent_rows.tolist())}
+    return Clustering(graph, parents)
+
+
+def _checked_tie_ids(graph, d, tie_ids):
     if d < 1:
         raise ConfigurationError(f"d must be >= 1, got {d}")
     if tie_ids is None:
@@ -42,16 +71,137 @@ def maxmin_clustering(graph, d=2, tie_ids=None):
         raise ConfigurationError("tie_ids must cover exactly the graph's nodes")
     if len(set(tie_ids.values())) != len(tie_ids):
         raise ConfigurationError("tie_ids must be globally unique")
+    return tie_ids
 
-    max_log = _flood(graph, tie_ids, rounds=d, combine=max,
-                     start={node: tie_ids[node] for node in graph})
+
+def flood_logs(csr, tie, d):
+    """The floodmax and floodmin round logs as ``(d, n)`` int64 arrays."""
+    max_log = np.empty((d, len(csr)), dtype=np.int64)
+    current = tie
+    for r in range(d):
+        current = closed_neighborhood_reduce(csr, current, np.maximum)
+        max_log[r] = current
+    min_log = np.empty_like(max_log)
+    current = max_log[d - 1]
+    for r in range(d):
+        current = closed_neighborhood_reduce(csr, current, np.minimum)
+        min_log[r] = current
+    return max_log, min_log
+
+
+def closed_neighborhood_reduce(csr, values, ufunc):
+    """One synchronous flooding round: ``ufunc`` over closed neighborhoods."""
+    result = values.copy()
+    indices = csr.indices
+    if indices.size:
+        indptr = csr.indptr.astype(np.int64)
+        nonempty = np.diff(indptr) > 0
+        reduced = ufunc.reduceat(values[indices], indptr[:-1][nonempty])
+        result[nonempty] = ufunc(result[nonempty], reduced)
+    return result
+
+
+def select_head_ids(tie, max_log, min_log, rows=None):
+    """Per-node selected head identifier from the round logs (rules 1-3).
+
+    ``rows`` restricts the pass to a row subset (the incremental engine's
+    dirty set); the returned array then aligns with ``rows``.
+    """
+    if rows is not None:
+        tie = tie[rows]
+        max_log = max_log[:, rows]
+        min_log = min_log[:, rows]
+    rule1 = (min_log == tie).any(axis=0)
+    in_both = (max_log[:, None, :] == min_log[None, :, :]).any(axis=1)
+    pair_min = np.where(in_both, max_log, NO_ID).min(axis=0)
+    has_pair = in_both.any(axis=0)
+    return np.where(rule1, tie, np.where(has_pair, pair_min, max_log[-1]))
+
+
+def rows_of_ids(tie, id_values):
+    """Rows carrying the given identifier values (identifiers unique)."""
+    order = np.argsort(tie, kind="stable")
+    return order[np.searchsorted(tie[order], id_values)]
+
+
+def normalize_membership(tie, head_id):
+    """Cluster label (head row) per row, with the standard normalization:
+    a node selected as head by anyone heads its own cluster."""
+    chosen = rows_of_ids(tie, head_id)
+    counts = np.bincount(chosen, minlength=len(tie))
+    return np.where(counts > 0, np.arange(len(tie), dtype=np.int64), chosen)
+
+
+def cluster_parent_rows(csr, tie, labels, parent_rows=None, active=None):
+    """Joining-forest parent rows from the per-row cluster labels.
+
+    Within each cluster, parents follow BFS trees rooted at the head over
+    the cluster-induced subgraph (ties broken by smaller identifier);
+    members disconnected from their head inside the cluster become
+    singleton heads (see module docstring).  All per-cluster trees come
+    from one label-constrained multi-source sweep on the CSR snapshot
+    (`repro.graph.traversal`): every head seeds a wave that expands only
+    along same-cluster edges, which yields the induced-subgraph distances
+    without ever building a subgraph.  The parent choice (the
+    minimum-identifier neighbor one hop closer to the head) is one masked
+    min-reduction over the CSR rows.
+
+    ``active`` (a boolean row mask) restricts the sweep to the clusters
+    it marks: rows outside keep their entry from ``parent_rows``
+    (required alongside ``active``); rows inside are recomputed exactly
+    as the full sweep would.
+    """
+    n = len(csr)
+    rows = np.arange(n, dtype=np.int64)
+    if active is None:
+        sweep_labels = labels
+        parent_rows = rows.copy()
+    else:
+        sweep_labels = np.where(active, labels, -1)
+        parent_rows = parent_rows.copy()
+    sources = np.flatnonzero(sweep_labels == rows)
+    dist = csr_multi_source_distances(csr, sources, labels=sweep_labels)
+    in_scope = sweep_labels >= 0
+    own = in_scope & ((sweep_labels == rows) | (dist < 0))
+    parent_rows[own] = rows[own]
+    join = in_scope & ~own
+    if not join.any():
+        return parent_rows
+    indptr = csr.indptr.astype(np.int64)
+    indices = csr.indices
+    deg = np.diff(indptr)
+    repeated = np.repeat(rows, deg)
+    same_label = sweep_labels[indices] == sweep_labels[repeated]
+    closer = same_label & (dist[indices] == dist[repeated] - 1)
+    nbr_tie = np.where(closer, tie[indices], NO_ID)
+    nonempty = deg > 0
+    row_best = np.full(n, NO_ID, dtype=np.int64)
+    row_best[nonempty] = np.minimum.reduceat(nbr_tie, indptr[:-1][nonempty])
+    hits = np.flatnonzero((nbr_tie == row_best[repeated]) & join[repeated])
+    parent_rows[join] = indices[hits].astype(np.int64)
+    return parent_rows
+
+
+def maxmin_clustering_reference(graph, d=2, tie_ids=None):
+    """The original per-node implementation: the oracle for the fast paths."""
+    tie_ids = _checked_tie_ids(graph, d, tie_ids)
+
+    max_log = _flood(
+        graph,
+        rounds=d,
+        combine=max,
+        start={node: tie_ids[node] for node in graph},
+    )
     final_max = {node: max_log[node][-1] for node in graph}
-    min_log = _flood(graph, tie_ids, rounds=d, combine=min, start=final_max)
+    min_log = _flood(graph, rounds=d, combine=min, start=final_max)
 
     head_id_of = {}
     for node in graph:
         head_id_of[node] = _select_head_id(
-            tie_ids[node], max_log[node], min_log[node])
+            tie_ids[node],
+            max_log[node],
+            min_log[node],
+        )
 
     id_to_node = {tie_ids[node]: node for node in graph}
     chosen_head = {node: id_to_node[head_id_of[node]] for node in graph}
@@ -63,7 +213,7 @@ def maxmin_clustering(graph, d=2, tie_ids=None):
     return Clustering(graph, parents)
 
 
-def _flood(graph, tie_ids, rounds, combine, start):
+def _flood(graph, rounds, combine, start):
     """Run ``rounds`` of synchronous flooding, logging each round's winner."""
     current = dict(start)
     logs = {node: [] for node in graph}
@@ -89,21 +239,7 @@ def _select_head_id(own_id, max_winners, min_winners):
 
 
 def _parents_from_membership(graph, chosen_head, tie_ids):
-    """Turn per-node head choices into a joining forest.
-
-    Within each cluster, parents follow BFS trees rooted at the head over
-    the cluster-induced subgraph (ties broken by smaller identifier).
-    Members disconnected from their head inside the cluster become
-    singleton heads (see module docstring).
-
-    All per-cluster BFS trees come from one label-constrained multi-source
-    sweep on the CSR snapshot (`repro.graph.traversal`): every head seeds
-    a wave that expands only along same-cluster edges, which yields the
-    induced-subgraph distances without ever building a subgraph.  The
-    parent choice (minimum-``tie_ids`` neighbor one hop closer to the
-    head) operates on distance values only, so the forest is identical to
-    the per-cluster implementation.
-    """
+    """Per-node head choices -> joining forest, one node at a time."""
     csr = graph.to_csr()
     index_of = csr.index_of
     n = len(csr)
@@ -115,7 +251,8 @@ def _parents_from_membership(graph, chosen_head, tie_ids):
         labels[index_of[node]] = index_of[head]
     sources = np.fromiter(
         {index_of[head] for head in chosen_head.values()},
-        dtype=np.int64)
+        dtype=np.int64,
+    )
     dist = csr_multi_source_distances(csr, sources, labels=labels)
 
     parents = {}
@@ -128,9 +265,10 @@ def _parents_from_membership(graph, chosen_head, tie_ids):
         elif dist[row] < 0:
             parents[node] = node  # unreachable: fall back to singleton
         else:
-            nbrs = indices[indptr[row]:indptr[row + 1]]
-            closer = nbrs[(labels[nbrs] == labels[row])
-                          & (dist[nbrs] == dist[row] - 1)]
-            parents[node] = min((ids[q] for q in closer.tolist()),
-                                key=tie_ids.get)
+            nbrs = indices[indptr[row] : indptr[row + 1]]
+            closer = nbrs[(labels[nbrs] == labels[row]) & (dist[nbrs] == dist[row] - 1)]
+            parents[node] = min(
+                (ids[q] for q in closer.tolist()),
+                key=tie_ids.get,
+            )
     return parents

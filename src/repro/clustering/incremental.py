@@ -45,9 +45,12 @@ parents, and densities.
 
 import numpy as np
 
+from repro.clustering.density import all_densities
+from repro.clustering.engine import ClusteringEngine, register_engine
 from repro.clustering.oracle import compute_clustering
 from repro.clustering.order import BasicOrder, IncumbentOrder, make_order
 from repro.clustering.result import Clustering
+from repro.util.errors import ConfigurationError
 
 # Above this node count the float image of the exact rational densities
 # is no longer guaranteed injective (clustering.density.FLOAT_EXACT_LIMIT
@@ -66,12 +69,17 @@ def _previous_heads(previous):
     return previous.heads
 
 
-class IncrementalElection:
+class IncrementalElection(ClusteringEngine):
     """Per-configuration election engine reused across windows.
 
     One instance per (order, fusion) configuration; :meth:`update` is
     called once per window with the maintained graph and exact densities
     and returns the same :class:`Clustering` the scratch oracle would.
+    The :class:`~repro.clustering.engine.ClusteringEngine` protocol
+    (``init`` / ``apply_delta`` / ``result``) rides on top of it for
+    callers that speak :class:`~repro.graph.dynamic.WindowUpdate`
+    streams; richer callers (per-window DAG renames, incumbent
+    threading) keep calling :meth:`update` directly.
     """
 
     def __init__(self, order="basic", fusion=False):
@@ -179,6 +187,46 @@ class IncrementalElection:
         self._last = Clustering(graph, parents, densities=densities,
                                 dag_ids=dag_ids, order_name=self.order.name,
                                 fusion=self.fusion)
+        return self._last
+
+    # ------------------------------------------------------------------
+    # ClusteringEngine protocol
+    # ------------------------------------------------------------------
+
+    def init(self, topology, densities=None):
+        """Seed from a full topology (the ClusteringEngine protocol).
+
+        ``densities`` is the exact density map when the caller already
+        maintains one (a density-tracking window stream); computed from
+        scratch otherwise.
+        """
+        if densities is None:
+            densities = all_densities(topology.graph, exact=True)
+        previous = self._last if self._incumbent else None
+        return self.update(topology.graph, densities, tie_ids=topology.ids,
+                           previous=previous)
+
+    def apply_delta(self, update):
+        """Advance one window from a ``WindowUpdate`` (protocol method).
+
+        Requires the stream to maintain densities (``window_stream`` with
+        ``track_densities=True``, the default); an update without them
+        falls back to a scratch re-seed.
+        """
+        if update.delta is None or update.densities is None:
+            return self.init(update.topology, densities=update.densities)
+        previous = self._last if self._incumbent else None
+        return self.update(update.topology.graph, update.densities,
+                           tie_ids=update.topology.ids, previous=previous,
+                           density_changed=update.density_changed,
+                           graph_changed=bool(update.delta),
+                           dag_changed=False)
+
+    def result(self):
+        """The clustering of the last window (protocol method)."""
+        if self._last is None:
+            raise ConfigurationError(
+                "engine holds no clustering; call init first")
         return self._last
 
     def _density_tied(self):
@@ -352,3 +400,6 @@ def _fusion_adjust(csr, ranks, parent_idx, self_wins):
         common = nbrs[mark[nbrs]]
         mark[dom_closed] = False
         parent_idx[row] = int(common[np.argmax(ranks[common])])
+
+
+register_engine("density")(IncrementalElection)

@@ -10,51 +10,38 @@ trivially won by degenerate clusterings.
 Traces execute through the parallel experiment engine; each trace is one
 task with its own pre-spawned generator, and the reducer concatenates the
 per-window observations in task order, so the table is identical for
-every ``jobs`` value.
+every ``jobs`` value.  The per-window clusterings come from the shared
+:mod:`~repro.experiments.metric_windows` walk: the delta stream through
+the incremental engines by default, scratch rebuilds on request
+(``dynamics="rebuild"``) -- identical tables either way.
 """
 
-from repro.clustering.baselines.degree import degree_clustering
-from repro.clustering.baselines.lowest_id import lowest_id_clustering
-from repro.clustering.baselines.maxmin import maxmin_clustering
-from repro.experiments.common import clustered, get_preset
+from repro.experiments.common import get_preset
 from repro.experiments.engine import ExperimentSpec, run_experiment
+from repro.experiments.metric_windows import (METRIC_SCRATCH, check_dynamics,
+                                              metric_windows, model_snapshots)
 from repro.experiments.mobility import SPEED_REGIMES, speed_range_in_sides
 from repro.metrics.stability import head_retention
 from repro.metrics.tables import Table
 from repro.util.errors import ConfigurationError
 from repro.mobility.random_direction import RandomDirectionModel
-from repro.mobility.trace import topology_at
 from repro.util.rng import spawn_rngs
 
-
-def _density_heads(topology, _rng):
-    clustering, _ = clustered(topology, use_dag=False)
-    return clustering
-
-
-METRICS = {
-    "density": _density_heads,
-    "degree": lambda topo, rng: degree_clustering(topo.graph,
-                                                  tie_ids=topo.ids),
-    "lowest-id": lambda topo, rng: lowest_id_clustering(topo.graph,
-                                                        tie_ids=topo.ids),
-    "max-min (d=2)": lambda topo, rng: maxmin_clustering(topo.graph, d=2,
-                                                         tie_ids=topo.ids),
-}
+METRICS = METRIC_SCRATCH
 
 
 def _run_trace(task):
     """One mobility trace; returns per-metric observation lists."""
-    nodes, speed_range, radius, windows, mobility_window, run_rng = task
+    (nodes, speed_range, radius, windows, mobility_window, dynamics,
+     run_rng) = task
     model = RandomDirectionModel(nodes, speed_range, rng=run_rng)
     retention = {name: [] for name in METRICS}
     membership_kept = {name: [] for name in METRICS}
     cluster_counts = {name: [] for name in METRICS}
     previous = {name: None for name in METRICS}
-    for _ in range(windows + 1):
-        topology = topology_at(model.positions, radius)
-        for name, build in METRICS.items():
-            clustering = build(topology, run_rng)
+    snapshots = model_snapshots(model, windows, mobility_window)
+    for clusterings in metric_windows(snapshots, radius, dynamics=dynamics):
+        for name, clustering in clusterings.items():
             cluster_counts[name].append(clustering.cluster_count)
             if previous[name] is not None:
                 retention[name].append(head_retention(
@@ -62,7 +49,6 @@ def _run_trace(task):
                 membership_kept[name].append(_membership_retention(
                     previous[name], clustering))
             previous[name] = clustering
-        model.advance(mobility_window)
     return {"retention": retention, "membership": membership_kept,
             "counts": cluster_counts}
 
@@ -70,8 +56,9 @@ def _run_trace(task):
 def _build(preset, rng, options):
     speed_range = speed_range_in_sides(SPEED_REGIMES[options["regime"]])
     windows = int(round(preset.mobility_duration / preset.mobility_window))
+    dynamics = check_dynamics(options.get("dynamics", "delta"))
     return [(preset.mobility_nodes, speed_range, options["radius"], windows,
-             preset.mobility_window, run_rng)
+             preset.mobility_window, dynamics, run_rng)
             for run_rng in spawn_rngs(rng, options["runs"])]
 
 
@@ -109,10 +96,11 @@ COMPARISON_SPEC = ExperimentSpec(name="comparison", build=_build,
 
 
 def run_comparison(preset="quick", regime="pedestrian", radius=0.1, rng=None,
-                   runs=1, jobs=1):
+                   runs=1, jobs=1, dynamics="delta"):
     """Head retention per clustering metric over shared mobility traces."""
     return run_experiment(COMPARISON_SPEC, get_preset(preset), rng=rng,
-                          jobs=jobs, regime=regime, radius=radius, runs=runs)
+                          jobs=jobs, regime=regime, radius=radius, runs=runs,
+                          dynamics=dynamics)
 
 
 def _membership_retention(before, after):

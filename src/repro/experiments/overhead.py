@@ -16,29 +16,20 @@ Both run through the parallel experiment engine: churn fans out one task
 per mobility trace, beacon cost one task per protocol configuration.
 """
 
-from repro.clustering.baselines.degree import degree_clustering
-from repro.clustering.baselines.lowest_id import lowest_id_clustering
-from repro.clustering.baselines.maxmin import maxmin_clustering
-from repro.experiments.common import clustered, get_preset
+from repro.experiments.common import get_preset
 from repro.experiments.engine import ExperimentSpec, run_experiment
+from repro.experiments.metric_windows import (METRIC_SCRATCH, check_dynamics,
+                                              metric_windows, model_snapshots)
 from repro.experiments.mobility import SPEED_REGIMES, speed_range_in_sides
 from repro.graph.generators import uniform_topology
 from repro.metrics.overhead import reaffiliations
 from repro.metrics.tables import Table
 from repro.mobility.random_direction import RandomDirectionModel
-from repro.mobility.trace import topology_at
 from repro.protocols.stack import standard_stack
 from repro.runtime.simulator import StepSimulator
 from repro.util.rng import spawn_rngs
 
-_METRICS = {
-    "density": lambda topo: clustered(topo, use_dag=False)[0],
-    "degree": lambda topo: degree_clustering(topo.graph, tie_ids=topo.ids),
-    "lowest-id": lambda topo: lowest_id_clustering(topo.graph,
-                                                   tie_ids=topo.ids),
-    "max-min (d=2)": lambda topo: maxmin_clustering(topo.graph, d=2,
-                                                    tie_ids=topo.ids),
-}
+_METRICS = METRIC_SCRATCH
 
 
 # ----------------------------------------------------------------------
@@ -47,26 +38,26 @@ _METRICS = {
 
 def _run_churn_trace(task):
     """One mobility trace; returns total re-affiliations per metric."""
-    nodes, speed_range, radius, windows, mobility_window, run_rng = task
+    (nodes, speed_range, radius, windows, mobility_window, dynamics,
+     run_rng) = task
     model = RandomDirectionModel(nodes, speed_range, rng=run_rng)
     totals = {name: 0.0 for name in _METRICS}
     previous = {name: None for name in _METRICS}
-    for _ in range(windows + 1):
-        topology = topology_at(model.positions, radius)
-        for name, build in _METRICS.items():
-            clustering = build(topology)
+    snapshots = model_snapshots(model, windows, mobility_window)
+    for clusterings in metric_windows(snapshots, radius, dynamics=dynamics):
+        for name, clustering in clusterings.items():
             if previous[name] is not None:
                 totals[name] += reaffiliations(previous[name], clustering)
             previous[name] = clustering
-        model.advance(mobility_window)
     return totals
 
 
 def _build_churn(preset, rng, options):
     speed_range = speed_range_in_sides(SPEED_REGIMES[options["regime"]])
     windows = int(round(preset.mobility_duration / preset.mobility_window))
+    dynamics = check_dynamics(options.get("dynamics", "delta"))
     return [(preset.mobility_nodes, speed_range, options["radius"], windows,
-             preset.mobility_window, run_rng)
+             preset.mobility_window, dynamics, run_rng)
             for run_rng in spawn_rngs(rng, options["runs"])]
 
 
@@ -93,10 +84,11 @@ REAFFILIATION_SPEC = ExperimentSpec(name="reaffiliation_churn",
 
 
 def run_reaffiliation_churn(preset="quick", regime="pedestrian", radius=0.1,
-                            rng=None, runs=2, jobs=1):
+                            rng=None, runs=2, jobs=1, dynamics="delta"):
     """Mean re-affiliations per window per 100 nodes, per metric."""
     return run_experiment(REAFFILIATION_SPEC, get_preset(preset), rng=rng,
-                          jobs=jobs, regime=regime, radius=radius, runs=runs)
+                          jobs=jobs, regime=regime, radius=radius, runs=runs,
+                          dynamics=dynamics)
 
 
 # ----------------------------------------------------------------------

@@ -14,8 +14,10 @@ reports what a production deployment would ask of it: p50/p99 latency
   objects with Zipf(0.8) key popularity;
 * ``mobility`` -- the same Zipf traffic served over per-window
   delta-maintained topologies (:func:`~repro.mobility.trace.
-  topology_stream`), with the hierarchy and router rebuilt per
-  2-second window.
+  window_stream`), with the level-0 clustering maintained by the
+  incremental density engine and the hierarchy and router rebuilt per
+  2-second window (``dynamics="rebuild"`` forces the scratch path;
+  identical output either way).
 
 Execution rides the standard :class:`~repro.experiments.engine.
 ExperimentSpec` engine: each static workload is split into a *fixed*
@@ -39,13 +41,16 @@ from repro.collectors import (
     LinkLoadCollector,
     StretchCollector,
 )
+from repro.clustering.engine import engine_for
 from repro.experiments.common import get_preset
 from repro.experiments.engine import ExperimentSpec, run_experiment
+from repro.experiments.metric_windows import check_dynamics
 from repro.graph.generators import uniform_topology
 from repro.hierarchy.hierarchy import build_hierarchy
 from repro.metrics.tables import Table
 from repro.mobility.random_direction import RandomDirectionModel
-from repro.mobility.trace import topology_stream
+from repro.mobility.trace import topology_at, window_stream
+from repro.naming.assign import assign_dag_ids
 from repro.util.errors import ConfigurationError
 from repro.util.rng import as_rng, spawn_rngs
 from repro.workload.generators import (
@@ -113,6 +118,7 @@ def _build(preset, rng, options):
             "nodes": preset.mobility_nodes,
             "radius": options["radius"],
             "windows": options["mobility_windows"],
+            "dynamics": check_dynamics(options.get("dynamics", "delta")),
         }
         for chunk_rng, chunk_count in zip(spawn_rngs(root, chunks), counts):
             tasks.append((kind, params, topo_seed, chunk_count, chunk_rng))
@@ -191,8 +197,16 @@ def _run_mobility(params, count, chunk_rng):
     current snapshot and serves its share of the request budget; the
     per-window proxies merge into one, exercising the same merge path
     the chunked shapes use.
+
+    With ``dynamics="delta"`` (the default) the level-0 clustering is
+    maintained by the incremental density engine from the exact edge
+    delta stream; the level-0 DAG names are drawn here -- under the
+    same edge-count condition, in the same order -- so the RNG stream
+    matches a full :func:`build_hierarchy` call draw for draw, and the
+    served windows are bit-identical to ``dynamics="rebuild"``.
     """
     windows = params["windows"]
+    dynamics = params.get("dynamics", "delta")
     low, high = MOBILITY_SPEED_RANGE_MPS
     speed_range = (low / SQUARE_SIDE_METERS, high / SQUARE_SIDE_METERS)
     model = RandomDirectionModel(params["nodes"], speed_range, rng=chunk_rng)
@@ -203,10 +217,28 @@ def _run_mobility(params, count, chunk_rng):
             yield model.positions.copy()
             model.advance(MOBILITY_WINDOW_SECONDS)
 
+    def hierarchies():
+        if dynamics == "rebuild":
+            for positions in snapshots():
+                topology = topology_at(positions, params["radius"])
+                yield build_hierarchy(topology, rng=chunk_rng)
+            return
+        engine = engine_for("density")
+        for update in window_stream(snapshots(), params["radius"]):
+            topology = update.topology
+            dag_ids = None
+            if topology.graph.edge_count() > 0:
+                dag_ids, _rounds = assign_dag_ids(topology, chunk_rng)
+            clustering = engine.update(
+                topology.graph, update.densities, tie_ids=topology.ids,
+                dag_ids=dag_ids, density_changed=update.density_changed,
+                graph_changed=bool(update.delta), dag_changed=True)
+            yield build_hierarchy(topology, rng=chunk_rng,
+                                  physical_clustering=clustering)
+
     total = None
-    stream = topology_stream(snapshots(), params["radius"])
-    for window_count, topology in zip(counts, stream):
-        hierarchy = build_hierarchy(topology, rng=chunk_rng)
+    for window_count, hierarchy in zip(counts, hierarchies()):
+        topology = hierarchy.physical.topology
         nodes = sorted(topology.graph.nodes)
         proxy = _make_collectors(hierarchy)
         requests = poisson_requests(
@@ -278,16 +310,18 @@ WORKLOAD_SPEC = ExperimentSpec(name="workload", build=_build, run=_run_one,
 
 def run_workload(preset="quick", rng=None, jobs=1, kinds=None, radius=0.1,
                  requests=None, chunks=CHUNKS,
-                 mobility_windows=MOBILITY_WINDOWS):
+                 mobility_windows=MOBILITY_WINDOWS, dynamics="delta"):
     """Serve every workload shape; returns a :class:`WorkloadReport`.
 
     ``requests`` overrides the per-shape request budget (default by
-    preset: quick = 20k/shape = 10^5 total).  Output is identical for
-    every backend and worker count.
+    preset: quick = 20k/shape = 10^5 total).  ``dynamics`` selects how
+    the mobility shape maintains its per-window clustering (engine
+    deltas vs scratch rebuilds; identical output).  Output is identical
+    for every backend and worker count.
     """
     preset = get_preset(preset)
     kinds = tuple(kinds) if kinds is not None else WORKLOAD_KINDS
     return run_experiment(
         WORKLOAD_SPEC, preset, rng=rng, jobs=jobs, kinds=kinds,
         radius=radius, requests=_requests_per_kind(preset, requests),
-        chunks=chunks, mobility_windows=mobility_windows)
+        chunks=chunks, mobility_windows=mobility_windows, dynamics=dynamics)

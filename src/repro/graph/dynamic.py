@@ -151,6 +151,7 @@ class DynamicUnitDisk:
         self._ids_list = ids_list
         self._ids = np.array(ids_list, dtype=np.int64)
         self._pos = positions
+        self._pos_dict = None
         self._rejoin()
 
     @staticmethod
@@ -195,9 +196,18 @@ class DynamicUnitDisk:
                                        self._ids_list)
 
     def positions_by_id(self):
-        """``dict[id, (x, y)]`` of the current positions."""
-        return {node: (float(x), float(y))
-                for node, (x, y) in zip(self._ids_list, self._pos)}
+        """``dict[id, (x, y)]`` of the current positions.
+
+        The dict is maintained incrementally across :meth:`move` calls
+        (only movers' entries are rewritten), so per-window cost tracks
+        the number of movers, not the population.  Callers must treat
+        the returned dict as read-only; ``Topology`` copies it.
+        """
+        if self._pos_dict is None:
+            self._pos_dict = {node: (float(x), float(y))
+                              for node, (x, y) in zip(self._ids_list,
+                                                      self._pos)}
+        return self._pos_dict
 
     # ------------------------------------------------------------------
     # candidate list
@@ -348,6 +358,10 @@ class DynamicUnitDisk:
         if not moved.size:
             return EdgeDelta.empty()
         self._pos = positions.copy()
+        if self._pos_dict is not None:
+            for i in moved:
+                self._pos_dict[self._ids_list[i]] = (float(positions[i, 0]),
+                                                     float(positions[i, 1]))
         disp2 = ((self._pos - self._anchor) ** 2).sum(axis=1)
         drifted = np.flatnonzero(disp2 >= self._drift2)
         if not drifted.size:
@@ -449,6 +463,7 @@ class DynamicUnitDisk:
         self._ids_list = new_ids
         self._ids = np.array(new_ids, dtype=np.int64)
         self._pos = np.concatenate((self._pos[keep], arrival_pos))
+        self._pos_dict = None
         self._rejoin()
         return self._diff_keys(old_keys, self._edge_keys())
 
@@ -538,12 +553,16 @@ class WindowUpdate:
     next window -- read metrics within the window, as the experiment
     loops do); ``delta`` is the exact edge difference from the previous
     window; ``density_changed`` the identifiers whose exact density value
-    may have changed (conservative superset).
+    may have changed (conservative superset).  ``densities`` is the live
+    exact density map of the producing :class:`DynamicTopology` (again:
+    read within the window), or ``None`` when density tracking is off --
+    ``density_changed`` is then ``None`` as well.
     """
 
     topology: Topology
     delta: EdgeDelta
     density_changed: frozenset
+    densities: dict = None
 
 
 class DynamicTopology:
@@ -558,17 +577,25 @@ class DynamicTopology:
     """
 
     def __init__(self, positions, radius, ids=None, skin=None,
-                 recount_fraction=_RECOUNT_FRACTION):
+                 recount_fraction=_RECOUNT_FRACTION, track_densities=True):
         self._disk = DynamicUnitDisk(positions, radius, ids=ids, skin=skin)
         self.radius = float(radius)
         self._recount_fraction = int(recount_fraction)
         self.graph = Graph.from_pair_array(self._disk.edge_index_pairs(),
                                            self._disk.ids)
-        self.triangles = TriangleCounter(self.graph)
-        # Deferred import: repro.clustering reaches back into repro.graph
-        # at package level, so binding at call time avoids the cycle.
-        from repro.clustering.density import all_densities
-        self.densities = all_densities(self.graph, exact=True)
+        if track_densities:
+            self.triangles = TriangleCounter(self.graph)
+            # Deferred import: repro.clustering reaches back into
+            # repro.graph at package level, so binding at call time
+            # avoids the cycle.
+            from repro.clustering.density import all_densities
+            self.densities = all_densities(self.graph, exact=True)
+        else:
+            # Consumers that never read densities (the baseline engines)
+            # skip the triangle counter and the Fraction refreshes; the
+            # updates then carry ``densities=None``.
+            self.triangles = None
+            self.densities = None
         self.topology = self._wrap()
 
     def _wrap(self):
@@ -585,13 +612,20 @@ class DynamicTopology:
     def move(self, positions):
         """One mobility window: adopt new positions, return the update."""
         delta = self._disk.move(positions)
-        if delta:
+        if self.triangles is None:
+            if delta:
+                self.graph.apply_edge_delta(added=delta.added,
+                                            removed=delta.removed)
+                self.graph.adopt_csr(self._disk.snapshot())
+            dirty = None
+        elif delta:
             dirty = self._apply_delta(delta)
         else:
             dirty = frozenset()
         self.topology = self._wrap()
         return WindowUpdate(topology=self.topology, delta=delta,
-                            density_changed=dirty)
+                            density_changed=dirty,
+                            densities=self.densities)
 
     def apply_churn(self, departed=(), arrivals=()):
         """One churn epoch: departures vanish with their edges, arrivals
@@ -601,6 +635,17 @@ class DynamicTopology:
         delta = self._disk.apply_churn(departed, arrivals)
         graph = self.graph
         counter = self.triangles
+        if counter is None:
+            graph.apply_edge_delta(removed=delta.removed)
+            for node in departed:
+                graph.remove_node(node)
+            for node, _position in arrivals:
+                graph.add_node(node)
+            graph.apply_edge_delta(added=delta.added)
+            graph.adopt_csr(self._disk.snapshot())
+            self.topology = self._wrap()
+            return WindowUpdate(topology=self.topology, delta=delta,
+                                density_changed=None, densities=None)
         # A heavy epoch (most of the population replaced) recounts on the
         # fresh snapshot instead of paying per-edge intersections, same
         # as the bulk branch of _apply_delta.
@@ -633,7 +678,8 @@ class DynamicTopology:
         self._refresh_densities(dirty)
         self.topology = self._wrap()
         return WindowUpdate(topology=self.topology, delta=delta,
-                            density_changed=frozenset(dirty))
+                            density_changed=frozenset(dirty),
+                            densities=self.densities)
 
     def _apply_delta(self, delta):
         graph = self.graph

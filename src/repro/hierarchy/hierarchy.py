@@ -105,11 +105,18 @@ class Hierarchy:
 
 
 def build_hierarchy(topology, rng=None, use_dag=True, order="basic",
-                    fusion=False, max_levels=DEFAULT_MAX_LEVELS):
+                    fusion=False, max_levels=DEFAULT_MAX_LEVELS,
+                    physical_clustering=None):
     """Cluster repeatedly until a single cluster (or ``max_levels``).
 
     Each level gets fresh DAG names sized to its own maximum degree when
     ``use_dag`` is set, exactly as the flat algorithm prescribes.
+
+    ``physical_clustering`` supplies a precomputed level-0 clustering
+    (e.g. maintained by an incremental engine across mobility windows);
+    the caller is then responsible for having drawn that level's DAG
+    names from ``rng`` (when ``use_dag``) so the higher levels see the
+    exact stream a full build would.
     """
     if max_levels < 1:
         raise ConfigurationError(f"max_levels must be >= 1, got {max_levels}")
@@ -117,12 +124,16 @@ def build_hierarchy(topology, rng=None, use_dag=True, order="basic",
     levels = []
     current = topology
     for index in range(max_levels):
-        dag_ids = None
-        if use_dag and current.graph.edge_count() > 0:
-            dag_ids, _rounds = assign_dag_ids(current, rng)
-        clustering = compute_clustering(current.graph, tie_ids=current.ids,
-                                        dag_ids=dag_ids, order=order,
-                                        fusion=fusion)
+        if index == 0 and physical_clustering is not None:
+            clustering = physical_clustering
+        else:
+            dag_ids = None
+            if use_dag and current.graph.edge_count() > 0:
+                dag_ids, _rounds = assign_dag_ids(current, rng)
+            clustering = compute_clustering(current.graph,
+                                            tie_ids=current.ids,
+                                            dag_ids=dag_ids, order=order,
+                                            fusion=fusion)
         done = clustering.cluster_count <= 1 or index == max_levels - 1
         overlay = None if done else overlay_topology(current, clustering)
         levels.append(HierarchyLevel(index=index, topology=current,

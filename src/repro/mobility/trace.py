@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.dynamic import DynamicTopology
+from repro.graph.dynamic import DynamicTopology, WindowUpdate
 from repro.graph.generators import Topology
 from repro.graph.geometry import unit_disk_graph
 from repro.util.errors import ConfigurationError
@@ -37,13 +37,32 @@ def topology_stream(position_snapshots, radius, ids=None):
     generator (as the experiment loops do) -- metrics read later see the
     latest window, exactly like a real deployment's current view.
     """
+    for update in window_stream(position_snapshots, radius, ids=ids):
+        yield update.topology
+
+
+def window_stream(position_snapshots, radius, ids=None,
+                  track_densities=True):
+    """Yield one :class:`~repro.graph.dynamic.WindowUpdate` per snapshot.
+
+    The engine-facing variant of :func:`topology_stream`: the first
+    update carries the freshly built topology with ``delta=None`` (an
+    engine re-seeds on it), every later update the exact edge delta from
+    the previous window.  ``track_densities=False`` skips the triangle
+    counter and the exact density map for consumers that never read
+    densities (the baseline engines); updates then carry
+    ``densities=None`` / ``density_changed=None``.
+    """
     dynamic = None
     for positions in position_snapshots:
         if dynamic is None:
-            dynamic = DynamicTopology(positions, radius, ids=ids)
-            yield dynamic.topology
+            dynamic = DynamicTopology(positions, radius, ids=ids,
+                                      track_densities=track_densities)
+            yield WindowUpdate(topology=dynamic.topology, delta=None,
+                               density_changed=None,
+                               densities=dynamic.densities)
         else:
-            yield dynamic.move(positions).topology
+            yield dynamic.move(positions)
 
 
 @dataclass(frozen=True)

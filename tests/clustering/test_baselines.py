@@ -2,10 +2,17 @@
 
 import pytest
 
-from repro.clustering.baselines.common import greedy_dominating_clustering
+from repro.clustering.baselines.common import (
+    greedy_dominating_clustering,
+    greedy_dominating_clustering_reference,
+    priority_columns,
+)
 from repro.clustering.baselines.degree import degree_clustering
 from repro.clustering.baselines.lowest_id import lowest_id_clustering
-from repro.clustering.baselines.maxmin import maxmin_clustering
+from repro.clustering.baselines.maxmin import (
+    maxmin_clustering,
+    maxmin_clustering_reference,
+)
 from repro.graph.generators import (
     complete_topology,
     line_topology,
@@ -133,3 +140,78 @@ class TestMaxMin:
         small = maxmin_clustering(random50.graph, d=1)
         large = maxmin_clustering(random50.graph, d=3)
         assert large.cluster_count <= small.cluster_count
+
+
+class TestVectorizedAgainstReference:
+    """The CSR fast paths reproduce the per-node originals bit for bit."""
+
+    def test_greedy_matches_reference_on_random_graphs(self):
+        for seed in range(6):
+            topo = uniform_topology(60, 0.18, rng=seed)
+            graph = topo.graph
+            for priority in (
+                {node: -node for node in graph},
+                {node: (graph.degree(node), -node) for node in graph},
+            ):
+                fast = greedy_dominating_clustering(graph, priority)
+                slow = greedy_dominating_clustering_reference(graph, priority)
+                assert fast.heads == slow.heads
+                assert fast.parents == slow.parents
+
+    def test_greedy_matches_reference_on_shapes(self):
+        for topo in (line_topology(7), star_topology(6),
+                     complete_topology(5)):
+            graph = topo.graph
+            priority = {node: -node for node in graph}
+            fast = greedy_dominating_clustering(graph, priority)
+            slow = greedy_dominating_clustering_reference(graph, priority)
+            assert fast.parents == slow.parents
+
+    def test_maxmin_matches_reference_on_random_graphs(self):
+        for seed in range(6):
+            topo = uniform_topology(60, 0.15, rng=seed)
+            for d in (1, 2, 3):
+                fast = maxmin_clustering(topo.graph, d=d, tie_ids=topo.ids)
+                slow = maxmin_clustering_reference(topo.graph, d=d,
+                                                   tie_ids=topo.ids)
+                assert fast.heads == slow.heads
+                assert fast.parents == slow.parents
+
+    def test_maxmin_singleton_fallback_matches_reference(self):
+        # This seed triggers the disconnected-member fallback at d=2
+        # (see tests/property/test_engine_properties.py).
+        topo = uniform_topology(30, 0.12, rng=57)
+        fast = maxmin_clustering(topo.graph, d=2, tie_ids=topo.ids)
+        slow = maxmin_clustering_reference(topo.graph, d=2, tie_ids=topo.ids)
+        assert fast.parents == slow.parents
+
+    def test_non_unique_priorities_use_reference_path(self):
+        # Equal keys make the reference's parent choice depend on set
+        # iteration order; the vectorized path must decline (and the
+        # public entry point then matches the reference by construction).
+        graph = Graph(edges=[(0, 2), (1, 2)])
+        priority = {0: 1, 1: 1, 2: 0}
+        ids = graph.to_csr().ids
+        assert priority_columns(ids, priority) is None
+        fast = greedy_dominating_clustering(graph, priority)
+        slow = greedy_dominating_clustering_reference(graph, priority)
+        assert fast.parents == slow.parents
+
+    def test_priority_columns_rejects_exotic_keys(self):
+        ids = (0, 1, 2)
+        # Mixed scalar/tuple and ragged tuple widths.
+        assert priority_columns(ids, {0: (1, 2), 1: 3, 2: (4, 5)}) is None
+        assert priority_columns(ids, {0: (1, 2), 1: (3,), 2: (4, 5)}) is None
+        # Non-numeric keys.
+        assert priority_columns(ids, {0: "a", 1: "b", 2: "c"}) is None
+        # Over-int64 unsigned values cannot be laid out losslessly.
+        assert priority_columns(ids, {0: 2**64, 1: 1, 2: 2}) is None
+        # Plain ints lay out as one int64 column.
+        columns = priority_columns(ids, {0: 5, 1: 3, 2: 4})
+        assert len(columns) == 1
+        assert columns[0].tolist() == [5, 3, 4]
+
+    def test_empty_graph(self):
+        clustering = greedy_dominating_clustering(Graph(), {})
+        assert clustering.parents == {}
+        assert maxmin_clustering(Graph(), d=2).parents == {}

@@ -27,9 +27,9 @@ def artifact(tmp_path, name, means, extras=None):
 
 def full_means(scale=1.0, **overrides):
     means = {name: 0.010 * scale for name in gate.REQUIRED}
-    # Keep the structural floor satisfied by default (rebuild 5x delta).
-    means["test_bench_mobility_windows_rebuild[5000]"] = 0.050 * scale
-    means["test_bench_mobility_windows_delta[5000]"] = 0.010 * scale
+    # Keep every structural floor satisfied by default (slow 5x fast).
+    for slow, _fast, _floor, _description in gate.SPEEDUP_FLOORS:
+        means[slow] = 0.050 * scale
     means.update(overrides)
     return means
 
