@@ -71,9 +71,13 @@ REQUIRED = [
     "test_bench_workload_serve[1000-zipf]",
     "test_bench_workload_serve[5000-uniform]",
     "test_bench_workload_serve[5000-zipf]",
+    "test_bench_workload_serve_floor[batch]",
+    "test_bench_workload_serve_floor[request]",
     "test_bench_streaming_build[100000]",
     "test_bench_streaming_build[1000000]",
     "test_bench_clustering_window_100k",
+    "test_bench_route_batch_1m",
+    "test_bench_route_stretch_1m",
     CALIBRATION,
 ]
 
@@ -86,6 +90,12 @@ WORKLOAD_BENCHES = [name for name in REQUIRED
                     if name.startswith("test_bench_workload_serve")]
 WORKLOAD_KEYS = ("requests_per_sec", "p99_latency_hops")
 
+# The batched serving path must beat the per-request reference loop it
+# replaced by this factor on the 5000-node Zipf floor pair (both
+# benches serve the identical 20k-request stream through a fresh
+# router to identical collector states; the ratio is pure batching).
+BATCHED_SERVE_FLOOR = 3.0
+
 # Scale benches must carry a throughput ``extra_info`` key; like the
 # serving throughput it is calibration-normalized before the gate.
 # The baseline-engine benches report ``windows_per_sec`` the same way.
@@ -93,6 +103,8 @@ SCALE_BENCHES = {
     "test_bench_streaming_build[100000]": "nodes_per_sec_built",
     "test_bench_streaming_build[1000000]": "nodes_per_sec_built",
     "test_bench_clustering_window_100k": "windows_per_sec_100k",
+    "test_bench_route_batch_1m": "route_hops_per_sec_1m",
+    "test_bench_route_stretch_1m": "stretch_samples_per_sec_1m",
 }
 SCALE_BENCHES.update(
     {name: "windows_per_sec" for name in REQUIRED
@@ -109,6 +121,9 @@ SPEEDUP_FLOORS = [
     ("test_bench_baseline_windows_rebuild[5000-degree]",
      "test_bench_baseline_windows_delta[5000-degree]",
      3.0, "5000-node degree engine per-window speedup"),
+    ("test_bench_workload_serve_floor[request]",
+     "test_bench_workload_serve_floor[batch]",
+     BATCHED_SERVE_FLOOR, "5000-node Zipf batched serving speedup"),
 ]
 
 

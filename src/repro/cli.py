@@ -88,6 +88,13 @@ def _preset_dynamics_runner(runner):
     return run
 
 
+def _workload_runner(args):
+    """``repro workload``: also forwards ``--metric`` and ``--serving``."""
+    print(run_workload(args.preset, rng=args.seed, jobs=args.jobs,
+                       dynamics=args.dynamics, metric=args.metric,
+                       serving=args.serving))
+
+
 EXPERIMENTS = {
     "table1": ("Table 1: densities on the Figure 1 example", _table1),
     "table2": ("Table 2: the step-model learning schedule",
@@ -134,7 +141,7 @@ EXPERIMENTS = {
                    _seed_runner(lambda rng, jobs: run_churn_experiment(
                        rng=rng, jobs=jobs))),
     "workload": ("Serve traffic: latency, link load, head hot-spotting",
-                 _preset_dynamics_runner(run_workload)),
+                 _workload_runner),
 }
 
 
@@ -159,6 +166,15 @@ def build_parser():
                              "stream (delta, default) or per-window "
                              "scratch rebuilds (rebuild); output is "
                              "identical either way")
+    parser.add_argument("--metric", default="density",
+                        choices=("density", "degree", "lowest_id", "maxmin"),
+                        help="workload mode: clustering metric maintained "
+                             "under mobility traffic (default density)")
+    parser.add_argument("--serving", choices=("batch", "request"),
+                        default="batch",
+                        help="workload mode: route requests in grouped "
+                             "batches (default) or one at a time; the "
+                             "served stream is identical either way")
     parser.add_argument("--jobs", default=1, type=_jobs_arg,
                         help="worker processes for Monte-Carlo runs "
                              "(default 1; 0 or 'auto' = all cores); "
@@ -215,9 +231,18 @@ def _doctor_main(args):
     crashes that still run Python teardown, but a SIGKILLed publisher
     leaves its segments holding kernel memory until reboot.  ``doctor``
     lists what is visible and ``--clean-shm`` removes the orphans (live
-    publishers are never touched).
+    publishers are never touched).  It also reports which traversal
+    kernel backend ``REPRO_KERNELS`` resolved to at import.
     """
+    from repro.graph import kernels
     from repro.graph.shm import clean_orphans, list_segments
+    info = kernels.backend_info()
+    print(f"kernel backend: {info['active']} "
+          f"(requested {info['requested']}, numba "
+          + ("available" if info["numba_available"] else "not installed")
+          + ")")
+    if "numba_error" in info:
+        print(f"  numba import failed: {info['numba_error']}")
     removed = clean_orphans() if args.clean_shm else []
     for name in removed:
         print(f"removed orphaned segment {name}")

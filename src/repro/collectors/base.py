@@ -37,6 +37,18 @@ class DataCollector:
         """Absorb one :class:`~repro.workload.serve.ServedRequest`."""
         raise NotImplementedError
 
+    def process_batch(self, batch):
+        """Absorb a sequence of served requests.
+
+        Equivalent by contract to ``for served in batch:
+        self.process(served)`` -- the default does exactly that.
+        Subclasses override it with vectorized/counter-based fast paths
+        (the batched serving loop hands whole request chunks over), but
+        the final state must stay bit-identical to the per-event loop.
+        """
+        for served in batch:
+            self.process(served)
+
     def merge(self, other):
         """Fold ``other``'s partial state into this one; returns self."""
         raise NotImplementedError
@@ -78,6 +90,11 @@ class CollectorProxy(DataCollector):
     def process(self, served):
         for collector in self.collectors:
             collector.process(served)
+
+    def process_batch(self, batch):
+        batch = batch if isinstance(batch, (list, tuple)) else list(batch)
+        for collector in self.collectors:
+            collector.process_batch(batch)
 
     def merge(self, other):
         self._check_mergeable(other)

@@ -8,6 +8,8 @@ mergeable, order-independent.
 """
 
 import math
+from collections import Counter
+from itertools import chain, pairwise
 
 from repro.collectors.base import DataCollector, register_collector
 
@@ -30,6 +32,23 @@ class LinkLoadCollector(DataCollector):
             u, v = route[i], route[i + 1]
             key = (u, v) if repr(u) <= repr(v) else (v, u)
             loads[key] = loads.get(key, 0) + 1
+
+    def process_batch(self, batch):
+        """Counter fast path: canonicalize per distinct *directed* pair.
+
+        The per-event loop calls ``repr`` twice per hop; counting hops
+        per directed pair first and canonicalizing once per distinct
+        pair absorbs the same multiset of undirected traversals, so the
+        final dict is identical.
+        """
+        counter = Counter()
+        for served in batch:
+            if served.route is not None:
+                counter.update(pairwise(served.route))
+        loads = self.loads
+        for (u, v), count in counter.items():
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            loads[key] = loads.get(key, 0) + count
 
     def merge(self, other):
         self._check_mergeable(other)
@@ -82,6 +101,14 @@ class HeadLoadCollector(DataCollector):
         loads = self.loads
         for head in served.head_path:
             loads[head] = loads.get(head, 0) + 1
+
+    def process_batch(self, batch):
+        counter = Counter(chain.from_iterable(
+            served.head_path for served in batch
+            if served.head_path is not None))
+        loads = self.loads
+        for head, count in counter.items():
+            loads[head] = loads.get(head, 0) + count
 
     def merge(self, other):
         self._check_mergeable(other)

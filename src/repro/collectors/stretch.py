@@ -57,21 +57,29 @@ class StretchCollector(DataCollector):
             for (hier, flat), count in self.pairs.items()
         )
         total = sum(count for _, count in ratios)
-        weighted = sum(ratio * count for ratio, count in ratios)
-
-        def nearest_rank(q):
-            rank = max(1, math.ceil(q / 100.0 * total))
-            seen = 0
-            for ratio, count in ratios:
-                seen += count
-                if seen >= rank:
-                    return ratio
-            return ratios[-1][0]
-
+        # All percentiles in one pass over the sorted ratio histogram:
+        # walk it once, resolving each nearest-rank threshold as the
+        # cumulative count crosses it (thresholds ascend with q, so a
+        # single cursor suffices), and accumulate the weighted mean in
+        # the same sweep.
+        ranks = [
+            (name, max(1, math.ceil(q / 100.0 * total)))
+            for name, q in (("p50", 50), ("p99", 99))
+        ]
+        percentiles = {}
+        cursor = 0
+        seen = 0
+        weighted = 0.0
+        for ratio, count in ratios:
+            seen += count
+            weighted += ratio * count
+            while cursor < len(ranks) and seen >= ranks[cursor][1]:
+                percentiles[ranks[cursor][0]] = ratio
+                cursor += 1
         return {
             "sampled": total,
             "mean": weighted / total,
-            "p50": nearest_rank(50),
-            "p99": nearest_rank(99),
+            "p50": percentiles["p50"],
+            "p99": percentiles["p99"],
             "max": ratios[-1][0],
         }

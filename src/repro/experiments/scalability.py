@@ -23,8 +23,8 @@ from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.graph.generators import Topology, uniform_topology
 from repro.graph.paths import connected_components
 from repro.hierarchy.hierarchy import build_hierarchy
-from repro.hierarchy.routing import route_stretch
 from repro.metrics.tables import Table
+from repro.workload.serve import CachedRouter
 from repro.util.rng import spawn_rngs
 
 # Stretch sampling fans out over at most this many chunks per size; more
@@ -54,14 +54,20 @@ def _strip_positions(topology):
 
 
 def _run_one(task):
-    """One chunk of sampled pairs; returns the list of their stretches."""
+    """One chunk of sampled pairs; returns the list of their stretches.
+
+    Stretch is computed through a per-chunk :class:`CachedRouter`: its
+    ``route_stretch`` mirrors ``hierarchy.routing.route_stretch`` output
+    for output while reusing sub-CSR legs, overlay trees, and flat BFS
+    answers across the chunk's samples.
+    """
     index, _prefix, hierarchy, count, chunk_rng = task
     nodes = list(hierarchy.physical.topology.graph.nodes)
+    router = CachedRouter(hierarchy)
     stretches = []
     for _ in range(count):
         a, b = chunk_rng.choice(len(nodes), 2, replace=False)
-        _, _, stretch = route_stretch(hierarchy, nodes[int(a)],
-                                      nodes[int(b)])
+        _, _, stretch = router.route_stretch(nodes[int(a)], nodes[int(b)])
         stretches.append(stretch)
     return stretches
 

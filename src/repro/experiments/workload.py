@@ -44,7 +44,11 @@ from repro.collectors import (
 from repro.clustering.engine import engine_for
 from repro.experiments.common import get_preset
 from repro.experiments.engine import ExperimentSpec, run_experiment
-from repro.experiments.metric_windows import check_dynamics
+from repro.experiments.metric_windows import (
+    METRIC_ENGINES,
+    METRIC_SCRATCH,
+    check_dynamics,
+)
 from repro.graph.generators import uniform_topology
 from repro.hierarchy.hierarchy import build_hierarchy
 from repro.metrics.tables import Table
@@ -58,10 +62,41 @@ from repro.workload.generators import (
     poisson_requests,
     ycsb_requests,
 )
-from repro.workload.serve import serve_workload
+from repro.workload.serve import (
+    SERVING_MODES,
+    RouterStatsCollector,
+    serve_workload,
+)
 
 #: Workload shapes in table order.
 WORKLOAD_KINDS = ("uniform", "zipf", "zipf-hot", "ycsb", "mobility")
+
+#: Clustering metrics the mobility shape can maintain per window:
+#: CLI spelling -> the :mod:`~repro.experiments.metric_windows` name.
+WORKLOAD_METRICS = {
+    "density": "density",
+    "degree": "degree",
+    "lowest_id": "lowest-id",
+    "maxmin": "max-min (d=2)",
+}
+
+
+def check_metric(metric):
+    """Validate a workload clustering-metric name and return it."""
+    if metric not in WORKLOAD_METRICS:
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; expected one of "
+            f"{tuple(WORKLOAD_METRICS)}")
+    return metric
+
+
+def check_serving(serving):
+    """Validate a serving-mode name and return it."""
+    if serving not in SERVING_MODES:
+        raise ConfigurationError(
+            f"unknown serving mode {serving!r}; expected one of "
+            f"{SERVING_MODES}")
+    return serving
 
 #: Requests *per workload shape* by preset name (quick totals 10^5 over
 #: the five shapes -- the CI workload-smoke budget).
@@ -119,6 +154,8 @@ def _build(preset, rng, options):
             "radius": options["radius"],
             "windows": options["mobility_windows"],
             "dynamics": check_dynamics(options.get("dynamics", "delta")),
+            "metric": check_metric(options.get("metric", "density")),
+            "serving": check_serving(options.get("serving", "batch")),
         }
         for chunk_rng, chunk_count in zip(spawn_rngs(root, chunks), counts):
             tasks.append((kind, params, topo_seed, chunk_count, chunk_rng))
@@ -150,6 +187,7 @@ def _make_collectors(hierarchy):
         LinkLoadCollector(),
         HeadLoadCollector(hierarchy.physical.clustering.heads),
         StretchCollector(),
+        RouterStatsCollector(),
     ])
 
 
@@ -185,7 +223,8 @@ def _run_one(task):
     proxy = _make_collectors(hierarchy)
     requests = _requests_for(kind, nodes, count, chunk_rng)
     return serve_workload(hierarchy, requests, proxy,
-                          flat_every=_flat_every(count))
+                          flat_every=_flat_every(count),
+                          mode=params["serving"])
 
 
 def _run_mobility(params, count, chunk_rng):
@@ -204,9 +243,17 @@ def _run_mobility(params, count, chunk_rng):
     same edge-count condition, in the same order -- so the RNG stream
     matches a full :func:`build_hierarchy` call draw for draw, and the
     served windows are bit-identical to ``dynamics="rebuild"``.
+
+    ``params["metric"]`` selects which clustering maintains the
+    physical level: ``density`` (the paper metric, the path above) or
+    one of the baseline engines (``degree`` / ``lowest_id`` /
+    ``maxmin``), maintained incrementally via ``apply_delta`` on the
+    same exact delta stream -- so traffic can be served over every
+    clustering family the repo implements, under identical mobility.
     """
     windows = params["windows"]
     dynamics = params.get("dynamics", "delta")
+    metric = params.get("metric", "density")
     low, high = MOBILITY_SPEED_RANGE_MPS
     speed_range = (low / SQUARE_SIDE_METERS, high / SQUARE_SIDE_METERS)
     model = RandomDirectionModel(params["nodes"], speed_range, rng=chunk_rng)
@@ -221,7 +268,21 @@ def _run_mobility(params, count, chunk_rng):
         if dynamics == "rebuild":
             for positions in snapshots():
                 topology = topology_at(positions, params["radius"])
-                yield build_hierarchy(topology, rng=chunk_rng)
+                if metric == "density":
+                    yield build_hierarchy(topology, rng=chunk_rng)
+                else:
+                    scratch = METRIC_SCRATCH[WORKLOAD_METRICS[metric]]
+                    yield build_hierarchy(
+                        topology, rng=chunk_rng,
+                        physical_clustering=scratch(topology))
+            return
+        if metric != "density":
+            engine = METRIC_ENGINES[WORKLOAD_METRICS[metric]]()
+            for update in window_stream(snapshots(), params["radius"],
+                                        track_densities=False):
+                yield build_hierarchy(
+                    update.topology, rng=chunk_rng,
+                    physical_clustering=engine.apply_delta(update))
             return
         engine = engine_for("density")
         for update in window_stream(snapshots(), params["radius"]):
@@ -245,7 +306,8 @@ def _run_mobility(params, count, chunk_rng):
             nodes, window_count, rng=chunk_rng,
             popularity=ZipfPopularity(nodes, ZIPF_ALPHA))
         serve_workload(hierarchy, requests, proxy,
-                       flat_every=_flat_every(window_count))
+                       flat_every=_flat_every(window_count),
+                       mode=params.get("serving", "batch"))
         total = proxy if total is None else total.merge(proxy)
     return total
 
@@ -279,7 +341,7 @@ def _reduce(preset, tasks, results, options):
     latency = Table(
         title=f"Serving latency & stretch ({scale}; latency in hops)",
         headers=["workload", "requests", "unroutable", "p50", "p99",
-                 "mean", "mean stretch", "p99 stretch"])
+                 "mean", "mean stretch", "p99 stretch", "flat hit%"])
     links = Table(
         title=f"Link load ({scale})",
         headers=["workload", "links used", "traversals", "mean", "p99",
@@ -293,9 +355,11 @@ def _reduce(preset, tasks, results, options):
         stretch = raw[kind]["stretch"]
         link = raw[kind]["link_load"]
         head = raw[kind]["head_load"]
+        router = raw[kind]["router"]
         latency.add_row([kind, lat["requests"], lat["unroutable"],
                          lat["p50"], lat["p99"], lat["mean"],
-                         stretch["mean"], stretch["p99"]])
+                         stretch["mean"], stretch["p99"],
+                         router["flat_hit_ratio"]])
         links.add_row([kind, link["links_used"], link["traversals"],
                        link["mean"], link["p99"], link["max"]])
         heads.add_row([kind, head["heads"], head["handled"], head["mean"],
@@ -310,18 +374,24 @@ WORKLOAD_SPEC = ExperimentSpec(name="workload", build=_build, run=_run_one,
 
 def run_workload(preset="quick", rng=None, jobs=1, kinds=None, radius=0.1,
                  requests=None, chunks=CHUNKS,
-                 mobility_windows=MOBILITY_WINDOWS, dynamics="delta"):
+                 mobility_windows=MOBILITY_WINDOWS, dynamics="delta",
+                 metric="density", serving="batch"):
     """Serve every workload shape; returns a :class:`WorkloadReport`.
 
     ``requests`` overrides the per-shape request budget (default by
     preset: quick = 20k/shape = 10^5 total).  ``dynamics`` selects how
     the mobility shape maintains its per-window clustering (engine
-    deltas vs scratch rebuilds; identical output).  Output is identical
-    for every backend and worker count.
+    deltas vs scratch rebuilds; identical output).  ``metric`` selects
+    the clustering the mobility shape maintains (``density`` or one of
+    the baseline engines -- ``degree``, ``lowest_id``, ``maxmin``).
+    ``serving`` selects the request loop (``batch``, the default, or
+    the per-request reference ``request``; identical output).  Output
+    is identical for every backend and worker count.
     """
     preset = get_preset(preset)
     kinds = tuple(kinds) if kinds is not None else WORKLOAD_KINDS
     return run_experiment(
         WORKLOAD_SPEC, preset, rng=rng, jobs=jobs, kinds=kinds,
         radius=radius, requests=_requests_per_kind(preset, requests),
-        chunks=chunks, mobility_windows=mobility_windows, dynamics=dynamics)
+        chunks=chunks, mobility_windows=mobility_windows, dynamics=dynamics,
+        metric=check_metric(metric), serving=check_serving(serving))

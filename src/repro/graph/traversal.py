@@ -2,10 +2,12 @@
 
 Every headline metric of the paper is hop-based -- head eccentricity
 ``e(H(u)/C)``, joining-tree length, route stretch -- and all of them are
-traversal-shaped.  This module is the shared kernel those metrics ride:
-instead of a Python ``deque`` BFS per node (and a fresh induced subgraph
-per cluster), frontiers are numpy index arrays expanded level by level
-with one gather per level.
+traversal-shaped.  This module is the shared *public* kernel surface
+those metrics ride; since the compiled-kernel refactor the hot loops
+themselves live behind the :mod:`repro.graph.kernels` seam (pure numpy
+by default, ``numba.njit`` when installed and selected via
+``REPRO_KERNELS``; outputs bit-identical either way).  What remains
+here is the id/row plumbing and the error contract:
 
 * :func:`csr_bfs_distances` -- single-source BFS returning an ``int64``
   distance array (``-1`` marks unreachable rows);
@@ -17,44 +19,25 @@ with one gather per level.
   subgraphs ever built (distances inside a label region equal distances
   in the region-induced subgraph, because every traversed edge has both
   endpoints in the region);
-* :func:`csr_shortest_path` -- one shortest path with a deterministic
-  parent rule (first discovery in frontier-row/CSR order);
+* :func:`csr_bfs_parents` / :func:`csr_shortest_path` -- deterministic
+  parent trees and single shortest paths (first discovery in
+  sorted-frontier-row/CSR order);
 * :func:`csr_component_labels` -- connected components by min-label
-  propagation with pointer-doubling compression;
+  propagation;
 * :func:`resolve_forest` -- parent-pointer forests (the joining forest of
-  a clustering) resolved to per-node roots and depths in O(n log h)
-  vectorized steps instead of per-node link-chasing.
+  a clustering) resolved to per-node roots and depths.
 
 Distances, component partitions, roots and depths are all tie-break-free
-quantities, which is what lets the callers in ``graph/paths.py``,
-``clustering/result.py`` and ``hierarchy/routing.py`` swap the dict
-backend for this kernel without changing a single reported number.
+quantities, and the parent rule is pinned identically in both backends,
+which is what lets the callers in ``graph/paths.py``,
+``clustering/result.py`` and ``hierarchy/routing.py`` swap backends
+without changing a single reported number.
 """
 
 import numpy as np
 
+from repro.graph import kernels
 from repro.util.errors import TopologyError
-
-
-def _expand_frontier(indptr, indices, frontier):
-    """Concatenated neighbor rows of ``frontier`` plus their source rows.
-
-    Returns ``(neighbors, sources)`` where ``neighbors[k]`` is adjacent to
-    ``sources[k]``; rows appear grouped by frontier order, each group in
-    CSR (ascending) neighbor order.
-    """
-    starts = indptr[frontier].astype(np.int64)
-    counts = indptr[frontier + 1].astype(np.int64) - starts
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    cum = np.zeros(len(frontier) + 1, dtype=np.int64)
-    np.cumsum(counts, out=cum[1:])
-    take = (np.arange(total, dtype=np.int64)
-            - np.repeat(cum[:-1], counts)
-            + np.repeat(starts, counts))
-    return indices[take].astype(np.int64), np.repeat(frontier, counts)
 
 
 def csr_multi_source_distances(csr, sources, labels=None):
@@ -67,28 +50,13 @@ def csr_multi_source_distances(csr, sources, labels=None):
     get ``-1``.
     """
     n = len(csr)
-    dist = np.full(n, -1, dtype=np.int64)
     sources = np.asarray(sources, dtype=np.int64)
     if n == 0 or sources.size == 0:
-        return dist
+        return np.full(n, -1, dtype=np.int64)
     if int(sources.min()) < 0 or int(sources.max()) >= n:
         raise TopologyError(f"source rows out of range [0, {n})")
-    dist[sources] = 0
-    frontier = np.unique(sources)
-    indptr, indices = csr.indptr, csr.indices
-    level = 0
-    while frontier.size:
-        level += 1
-        neigh, src = _expand_frontier(indptr, indices, frontier)
-        keep = dist[neigh] < 0
-        if labels is not None:
-            keep &= labels[neigh] == labels[src]
-        cand = neigh[keep]
-        if not cand.size:
-            break
-        frontier = np.unique(cand)
-        dist[frontier] = level
-    return dist
+    return kernels.multi_source_distances(csr.indptr, csr.indices, sources,
+                                          labels=labels)
 
 
 def csr_bfs_distances(csr, source):
@@ -115,104 +83,40 @@ def csr_shortest_path(csr, source, target, labels=None):
         return [source]
     if labels is not None and labels[source] != labels[target]:
         return None
-    dist = np.full(n, -1, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    dist[source] = 0
-    frontier = np.array([source], dtype=np.int64)
-    indptr, indices = csr.indptr, csr.indices
-    level = 0
-    while frontier.size:
-        level += 1
-        neigh, src = _expand_frontier(indptr, indices, frontier)
-        keep = dist[neigh] < 0
-        if labels is not None:
-            keep &= labels[neigh] == labels[src]
-        cand = neigh[keep]
-        if not cand.size:
-            return None
-        # np.unique's return_index picks each row's first occurrence in
-        # gather order -- the deterministic parent rule.
-        frontier, first = np.unique(cand, return_index=True)
-        parent[frontier] = src[keep][first]
-        dist[frontier] = level
-        if dist[target] >= 0:
-            path = [int(target)]
-            while path[-1] != source:
-                path.append(int(parent[path[-1]]))
-            path.reverse()
-            return path
-    return None
+    parents, dist = kernels.bfs_parents(csr.indptr, csr.indices, source,
+                                        labels=labels)
+    if dist[target] < 0:
+        return None
+    rows = kernels.unwind_path(parents, source, target)
+    return [int(row) for row in rows]
 
 
 def csr_bfs_parents(csr, source, labels=None):
     """Full-BFS ``(parents, distances)`` from ``source``.
 
-    The same expansion as :func:`csr_shortest_path` without the early
-    exit: ``parents[r]`` is row ``r``'s first discoverer in
+    ``parents[r]`` is row ``r``'s first discoverer in
     (frontier row, CSR neighbor) order -- ``-1`` for the source itself
     and for unreached rows -- and ``distances[r]`` the hop distance
-    (``-1`` unreached).  Because the parent rule is identical,
-    unwinding ``target -> source`` through ``parents`` reproduces
-    ``csr_shortest_path(csr, source, target, labels)`` exactly; one
-    full sweep therefore serves every target reachable from ``source``,
-    which is what lets the traffic-serving router cache a cluster's
-    whole leg fan-out per (cluster, leg source) instead of re-running a
-    path search per request.
+    (``-1`` unreached).  Because the parent rule matches
+    :func:`csr_shortest_path` exactly, unwinding ``target -> source``
+    through ``parents`` reproduces it; one full sweep therefore serves
+    every target reachable from ``source``, which is what lets the
+    traffic-serving router cache a cluster's whole leg fan-out per
+    (cluster, leg source) instead of re-running a path search per
+    request.
     """
     n = len(csr)
     if not 0 <= source < n:
         raise TopologyError(f"source row {source} out of range [0, {n})")
-    dist = np.full(n, -1, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    dist[source] = 0
-    frontier = np.array([source], dtype=np.int64)
-    indptr, indices = csr.indptr, csr.indices
-    level = 0
-    while frontier.size:
-        level += 1
-        neigh, src = _expand_frontier(indptr, indices, frontier)
-        keep = dist[neigh] < 0
-        if labels is not None:
-            keep &= labels[neigh] == labels[src]
-        cand = neigh[keep]
-        if not cand.size:
-            break
-        # Same deterministic parent rule as csr_shortest_path.
-        frontier, first = np.unique(cand, return_index=True)
-        parent[frontier] = src[keep][first]
-        dist[frontier] = level
-    return parent, dist
+    return kernels.bfs_parents(csr.indptr, csr.indices, source, labels=labels)
 
 
 def csr_component_labels(csr):
-    """Per-row component label: the smallest row index in the component.
-
-    Min-label propagation over the closed neighborhood, with full
-    pointer-doubling compression between rounds -- O(m log n) worst case,
-    a handful of vectorized rounds in practice.
-    """
+    """Per-row component label: the smallest row index in the component."""
     n = len(csr)
-    labels = np.arange(n, dtype=np.int64)
     if n == 0 or csr.indices.size == 0:
-        return labels
-    indptr = csr.indptr.astype(np.int64)
-    dst = csr.indices.astype(np.int64)
-    nonzero = np.diff(indptr) > 0
-    starts = indptr[:-1][nonzero]
-    while True:
-        # reduceat segments between consecutive non-empty rows are exactly
-        # those rows' neighbor blocks (empty rows contribute no elements).
-        neighbor_min = np.minimum.reduceat(labels[dst], starts)
-        new = labels.copy()
-        new[nonzero] = np.minimum(new[nonzero], neighbor_min)
-        while True:
-            shortcut = new[new]
-            if np.array_equal(shortcut, new):
-                break
-            new = shortcut
-        if np.array_equal(new, labels):
-            return labels
-        labels = new
+        return np.arange(n, dtype=np.int64)
+    return kernels.component_labels(csr.indptr, csr.indices)
 
 
 def resolve_forest(parent_rows):
@@ -220,30 +124,15 @@ def resolve_forest(parent_rows):
 
     ``parent_rows[i]`` is the parent row of ``i`` (roots point to
     themselves).  Returns ``(roots, depths)`` -- both ``int64`` arrays --
-    in O(n log h) numpy ops, ``h`` the tallest tree.  Raises
-    :class:`TopologyError` when the links contain a cycle (they then
-    never converge to fixed points).
+    in O(n log h) vectorized/compiled steps, ``h`` the tallest tree.
+    Raises :class:`TopologyError` when the links contain a cycle (they
+    then never converge to fixed points).
     """
     parents = np.ascontiguousarray(parent_rows, dtype=np.int64)
-    anc = parents.copy()
-    n = anc.size
-    idx = np.arange(n, dtype=np.int64)
-    if n and (anc.min() < 0 or anc.max() >= n):
+    n = parents.size
+    if n and (parents.min() < 0 or parents.max() >= n):
         raise TopologyError("parent rows out of range")
-    depth = (anc != idx).astype(np.int64)
-    if n == 0:
-        return anc, depth
-    # Each round doubles the resolved chain length, so log2(n) + 1 rounds
-    # suffice for any forest; non-convergence within that budget means the
-    # links cycle.  A cycle whose length divides a power of two *does*
-    # converge (every member becomes its own 2^k-th ancestor), so a
-    # converged ancestor only counts as a root if its parent is itself.
-    for _ in range(int(np.ceil(np.log2(max(n, 2)))) + 2):
-        shortcut = anc[anc]
-        if np.array_equal(shortcut, anc):
-            if bool((parents[anc] == anc).all()):
-                return anc, depth
-            break
-        depth += depth[anc]
-        anc = shortcut
-    raise TopologyError("parent links form a cycle")
+    roots, depths, ok = kernels.resolve_forest(parents)
+    if not ok:
+        raise TopologyError("parent links form a cycle")
+    return roots, depths

@@ -3,14 +3,26 @@ uncached routines, flat-hop accounting, and the sampling contract."""
 
 import pytest
 
-from repro.collectors import CollectorProxy, LatencyCollector, StretchCollector
+from repro.collectors import (
+    CollectorProxy,
+    HeadLoadCollector,
+    LatencyCollector,
+    LinkLoadCollector,
+    StretchCollector,
+)
 from repro.graph.generators import Topology, uniform_topology
 from repro.graph.graph import Graph
 from repro.graph.paths import is_connected
 from repro.hierarchy.hierarchy import build_hierarchy
 from repro.hierarchy.routing import hierarchical_route, route_stretch
+from repro.util.errors import ConfigurationError
 from repro.workload.generators import Request, poisson_requests
-from repro.workload.serve import CachedRouter, ServedRequest, serve_workload
+from repro.workload.serve import (
+    CachedRouter,
+    RouterStatsCollector,
+    ServedRequest,
+    serve_workload,
+)
 
 
 @pytest.fixture(scope="module")
@@ -128,3 +140,131 @@ class TestServeWorkload:
                                router=router)
         assert proxy.results()["latency"]["requests"] == 20
         assert router._leg_paths  # warmed by the serve loop
+
+    def test_unknown_mode_raises(self, deployment):
+        _topo, hierarchy = deployment
+        with pytest.raises(ConfigurationError):
+            serve_workload(hierarchy, [], CollectorProxy([]), mode="stream")
+
+
+class TestBatchedRouting:
+    """route_batch and the batched serving loop: byte-identical streams."""
+
+    def test_route_batch_equals_per_request_serve(self, deployment):
+        topo, hierarchy = deployment
+        nodes = sorted(topo.graph.nodes)
+        requests = list(poisson_requests(nodes, 240, rng=5))
+        batch_router = CachedRouter(hierarchy)
+        loop_router = CachedRouter(hierarchy)
+        served = batch_router.route_batch(requests, flat_every=7,
+                                          first_index=3)
+        assert len(served) == len(requests)
+        for i, request in enumerate(requests):
+            reference = loop_router.serve(
+                request, with_flat=(3 + i) % 7 == 0, reference=True)
+            assert served[i] == reference
+
+    def test_route_reference_equals_route(self, deployment):
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy)
+        for source, destination in sample_pairs(topo, count=60):
+            assert router.route(source, destination) == \
+                CachedRouter(hierarchy).route_reference(source, destination)
+
+    def test_serving_modes_end_in_identical_collector_state(self, deployment):
+        topo, hierarchy = deployment
+        nodes = sorted(topo.graph.nodes)
+        heads = hierarchy.physical.clustering.heads
+
+        def proxy():
+            return CollectorProxy([
+                LatencyCollector(), LinkLoadCollector(),
+                HeadLoadCollector(heads), StretchCollector(),
+                RouterStatsCollector(),
+            ])
+
+        outcomes = {}
+        for mode in ("request", "batch"):
+            collector = serve_workload(
+                hierarchy, poisson_requests(nodes, 400, rng=9), proxy(),
+                flat_every=5, mode=mode, batch_size=64)
+            outcomes[mode] = collector
+        a, b = outcomes["request"], outcomes["batch"]
+        assert a.results() == b.results()
+        assert a["link_load"].loads == b["link_load"].loads
+        assert a["head_load"].loads == b["head_load"].loads
+        assert a["stretch"].pairs == b["stretch"].pairs
+        assert a["latency"].hops.counts == b["latency"].hops.counts
+
+    def test_route_batch_handles_unroutable_groups(self):
+        hierarchy = build_hierarchy(
+            Topology(Graph(edges=[(0, 1), (2, 3)])), use_dag=False)
+        router = CachedRouter(hierarchy)
+        requests = [Request(time=0.0, source=0, destination=3),
+                    Request(time=0.1, source=0, destination=1)]
+        served = router.route_batch(requests)
+        assert served[0].route is None and served[0].hops is None
+        assert served[1].route is not None
+
+    def test_route_stretch_matches_uncached(self, deployment):
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy)
+        for source, destination in sample_pairs(topo, count=40):
+            assert router.route_stretch(source, destination) == \
+                route_stretch(hierarchy, source, destination)
+
+
+class TestFlatCacheLRU:
+    def test_hit_moves_entry_to_back_of_eviction_queue(self, deployment):
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy, flat_cache=2)
+        nodes = sorted(topo.graph.nodes)
+        a, b, c = nodes[0], nodes[1], nodes[2]
+        router.flat_hops(nodes[10], a)   # cache: [a]
+        router.flat_hops(nodes[10], b)   # cache: [a, b]
+        router.flat_hops(nodes[11], a)   # hit: cache order [b, a]
+        router.flat_hops(nodes[10], c)   # evicts b, not a
+        assert list(router._flat) == [a, c]
+        assert router.flat_hits == 1
+        assert router.flat_misses == 3
+
+    def test_flat_cache_stats_ratio(self, deployment):
+        topo, hierarchy = deployment
+        router = CachedRouter(hierarchy)
+        nodes = sorted(topo.graph.nodes)
+        for _ in range(3):
+            router.flat_hops(nodes[4], nodes[9])
+        stats = router.flat_cache_stats()
+        assert stats == {"hits": 2, "misses": 1, "lookups": 3,
+                         "hit_ratio": 2 / 3}
+
+
+class TestRouterStatsCollector:
+    def test_serve_workload_absorbs_router_counters(self, deployment):
+        topo, hierarchy = deployment
+        nodes = sorted(topo.graph.nodes)
+        proxy = CollectorProxy([LatencyCollector(), RouterStatsCollector()])
+        serve_workload(hierarchy, poisson_requests(nodes, 200, rng=4),
+                       proxy, flat_every=2)
+        results = proxy.results()["router"]
+        assert results["flat_lookups"] == 100  # every 2nd request sampled
+        assert results["flat_hits"] + results["flat_misses"] == 100
+
+    def test_reused_router_counts_only_the_delta(self, deployment):
+        topo, hierarchy = deployment
+        nodes = sorted(topo.graph.nodes)
+        router = CachedRouter(hierarchy)
+        router.flat_hops(nodes[0], nodes[1])  # pre-serving traffic
+        proxy = CollectorProxy([RouterStatsCollector()])
+        serve_workload(hierarchy, poisson_requests(nodes, 50, rng=6),
+                       proxy, flat_every=5, router=router)
+        assert proxy.results()["router"]["flat_lookups"] == 10
+
+    def test_merge_sums_counters(self):
+        left, right = RouterStatsCollector(), RouterStatsCollector()
+        left.absorb(3, 1)
+        right.absorb(1, 5)
+        merged = left.merge(right).results()
+        assert merged["flat_hits"] == 4
+        assert merged["flat_misses"] == 6
+        assert merged["flat_hit_ratio"] == 0.4
