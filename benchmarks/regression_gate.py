@@ -75,6 +75,8 @@ REQUIRED = [
     "test_bench_workload_serve_floor[request]",
     "test_bench_streaming_build[100000]",
     "test_bench_streaming_build[1000000]",
+    "test_bench_model_build_100k[erdos_renyi]",
+    "test_bench_model_build_100k[scale_free]",
     "test_bench_clustering_window_100k",
     "test_bench_route_batch_1m",
     "test_bench_route_stretch_1m",
@@ -102,6 +104,8 @@ BATCHED_SERVE_FLOOR = 3.0
 SCALE_BENCHES = {
     "test_bench_streaming_build[100000]": "nodes_per_sec_built",
     "test_bench_streaming_build[1000000]": "nodes_per_sec_built",
+    "test_bench_model_build_100k[erdos_renyi]": "nodes_per_sec_built",
+    "test_bench_model_build_100k[scale_free]": "nodes_per_sec_built",
     "test_bench_clustering_window_100k": "windows_per_sec_100k",
     "test_bench_route_batch_1m": "route_hops_per_sec_1m",
     "test_bench_route_stretch_1m": "stretch_samples_per_sec_1m",

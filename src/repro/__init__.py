@@ -34,9 +34,14 @@ from repro.energy import BatteryModel, energy_aware_clustering
 from repro.graph import (
     Graph,
     Topology,
+    TopologySpec,
+    build_topology_spec,
     figure1_topology,
     grid_topology,
+    load_graph,
     poisson_topology,
+    registered_topologies,
+    save_graph,
     square_grid_topology,
     uniform_topology,
 )
@@ -74,10 +79,12 @@ __all__ = [
     "SlottedContentionChannel",
     "StepSimulator",
     "Topology",
+    "TopologySpec",
     "__version__",
     "all_densities",
     "assign_dag_ids",
     "build_hierarchy",
+    "build_topology_spec",
     "compute_clustering",
     "degree_clustering",
     "density",
@@ -86,10 +93,13 @@ __all__ = [
     "figure1_topology",
     "hierarchical_route",
     "grid_topology",
+    "load_graph",
     "lowest_id_clustering",
     "make_stack_predicate",
     "maxmin_clustering",
     "poisson_topology",
+    "registered_topologies",
+    "save_graph",
     "square_grid_topology",
     "standard_stack",
     "steps_to_legitimacy",

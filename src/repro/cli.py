@@ -62,15 +62,37 @@ def _jobs_arg(value):
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _single_topology(args):
+    """The lone ``--topology`` spec, or None (multi-spec is an error
+    for families that evaluate one topology)."""
+    if not args.topology:
+        return None
+    if len(args.topology) > 1:
+        raise ConfigurationError(
+            "this experiment evaluates a single topology; give one "
+            "--topology (the comparison family accepts several)")
+    return args.topology[0]
+
+
 def _table1(args):
-    table, exact = run_table1(jobs=args.jobs)
+    table, exact = run_table1(jobs=args.jobs,
+                              topology=_single_topology(args))
     print(table)
-    print("exact match with the paper:", exact)
+    if not args.topology:
+        print("exact match with the paper:", exact)
 
 
 def _preset_runner(runner):
     def run(args):
         print(runner(args.preset, rng=args.seed, jobs=args.jobs))
+    return run
+
+
+def _preset_topology_runner(runner):
+    """Like :func:`_preset_runner`, also forwarding one ``--topology``."""
+    def run(args):
+        print(runner(args.preset, rng=args.seed, jobs=args.jobs,
+                     topology=_single_topology(args)))
     return run
 
 
@@ -80,32 +102,37 @@ def _seed_runner(runner):
     return run
 
 
-def _preset_dynamics_runner(runner):
-    """Like :func:`_preset_runner`, also forwarding ``--dynamics``."""
-    def run(args):
-        print(runner(args.preset, rng=args.seed, jobs=args.jobs,
-                     dynamics=args.dynamics))
-    return run
-
-
 def _workload_runner(args):
     """``repro workload``: also forwards ``--metric`` and ``--serving``."""
     print(run_workload(args.preset, rng=args.seed, jobs=args.jobs,
                        dynamics=args.dynamics, metric=args.metric,
-                       serving=args.serving))
+                       serving=args.serving,
+                       topology=_single_topology(args)))
+
+
+def _comparison_runner(args):
+    """``repro comparison``: any number of ``--topology`` specs switches
+    the family to the off-UDG robustness table."""
+    print(run_comparison(args.preset, rng=args.seed, jobs=args.jobs,
+                         dynamics=args.dynamics, topology=args.topology))
+
+
+def _churn_runner(args):
+    print(run_reaffiliation_churn(args.preset, rng=args.seed, jobs=args.jobs,
+                                  dynamics=args.dynamics,
+                                  topology=_single_topology(args)))
 
 
 EXPERIMENTS = {
     "table1": ("Table 1: densities on the Figure 1 example", _table1),
     "table2": ("Table 2: the step-model learning schedule",
-               _preset_runner(lambda p, rng, jobs: run_table2(
-                   p, rng=rng, jobs=jobs))),
+               _preset_topology_runner(run_table2)),
     "table3": ("Table 3: steps to build the DAG",
                _preset_runner(run_table3)),
     "table4": ("Table 4: clusters on random geometric graphs",
-               _preset_runner(run_table4)),
+               _preset_topology_runner(run_table4)),
     "table5": ("Table 5: clusters on the adversarial grid",
-               _preset_runner(run_table5)),
+               _preset_topology_runner(run_table5)),
     "figure1": ("Figure 1: the clustered example",
                 lambda args: print(run_figure1())),
     "figure2": ("Figure 2: grid without DAG (one giant cluster)",
@@ -116,7 +143,7 @@ EXPERIMENTS = {
                  _preset_runner(lambda p, rng, jobs: run_mobility_experiment(
                      p, rng=rng, runs=2, jobs=jobs))),
     "comparison": ("Density vs degree vs lowest-ID vs max-min stability",
-                   _preset_dynamics_runner(run_comparison)),
+                   _comparison_runner),
     "scaling": ("Stabilization steps vs grid side (Lemma 2, empirically)",
                 _seed_runner(lambda rng, jobs: run_scaling_experiment(
                     rng=rng, jobs=jobs))),
@@ -133,7 +160,7 @@ EXPERIMENTS = {
                   _seed_runner(lambda rng, jobs: run_intensity_sweep(
                       rng=rng, jobs=jobs))),
     "churn": ("Re-affiliation traffic per metric under mobility",
-              _preset_dynamics_runner(run_reaffiliation_churn)),
+              _churn_runner),
     "beacons": ("Steady-state beacon bytes per protocol configuration",
                 _seed_runner(lambda rng, jobs: run_beacon_cost(
                     rng=rng, jobs=jobs))),
@@ -159,6 +186,15 @@ def build_parser():
                         help="workload preset: quick (default), paper, smoke")
     parser.add_argument("--seed", type=int, default=2024,
                         help="root RNG seed (default 2024)")
+    parser.add_argument("--topology", action="append", default=None,
+                        metavar="SPEC",
+                        help="topology generator spec "
+                             "'name:param=val,...' (e.g. "
+                             "erdos_renyi:degree=8 or file:trace.gml); "
+                             "absent parameters get family defaults "
+                             "(node count from the preset, matched mean "
+                             "degree from --radius equivalents); repeat "
+                             "the flag for the comparison sweep")
     parser.add_argument("--dynamics", choices=("delta", "rebuild"),
                         default="delta",
                         help="how mobility experiments advance windows: "
@@ -235,6 +271,12 @@ def _doctor_main(args):
     kernel backend ``REPRO_KERNELS`` resolved to at import.
     """
     from repro.graph import kernels
+    from repro.graph.io import FORMATS
+    from repro.graph.models.registry import (
+        accepted_parameters,
+        is_geometric,
+        registered_topologies,
+    )
     from repro.graph.shm import clean_orphans, list_segments
     info = kernels.backend_info()
     print(f"kernel backend: {info['active']} "
@@ -243,6 +285,14 @@ def _doctor_main(args):
           + ")")
     if "numba_error" in info:
         print(f"  numba import failed: {info['numba_error']}")
+    names = registered_topologies()
+    print(f"{len(names)} registered topology generator(s):")
+    for name in names:
+        kind = "geometric" if is_geometric(name) else "combinatorial"
+        params = ", ".join(accepted_parameters(name)) or "-"
+        print(f"  {name} ({kind}; params: {params})")
+    print("graph I/O formats: " + ", ".join(FORMATS)
+          + " (load via --topology file:PATH, save via repro.graph.io)")
     removed = clean_orphans() if args.clean_shm else []
     for name in removed:
         print(f"removed orphaned segment {name}")
@@ -279,17 +329,20 @@ def main(argv=None):
         for name in sorted(EXPERIMENTS):
             print(f"{name.ljust(width)}  {EXPERIMENTS[name][0]}")
         return 0
-    executor = _build_executor(args)
-    if executor is None:
-        EXPERIMENTS[args.experiment][1](args)
-        return 0
-    with executor, use_executor(executor):
-        if executor.name == "distributed":
-            host, port = executor.start()
-            print(f"coordinator listening on {host}:{port} "
-                  f"({executor.workers or 0} loopback worker(s))",
-                  file=sys.stderr)
-        EXPERIMENTS[args.experiment][1](args)
+    try:
+        executor = _build_executor(args)
+        if executor is None:
+            EXPERIMENTS[args.experiment][1](args)
+            return 0
+        with executor, use_executor(executor):
+            if executor.name == "distributed":
+                host, port = executor.start()
+                print(f"coordinator listening on {host}:{port} "
+                      f"({executor.workers or 0} loopback worker(s))",
+                      file=sys.stderr)
+            EXPERIMENTS[args.experiment][1](args)
+    except ConfigurationError as error:
+        parser.error(str(error))
     return 0
 
 

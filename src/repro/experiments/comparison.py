@@ -96,8 +96,21 @@ COMPARISON_SPEC = ExperimentSpec(name="comparison", build=_build,
 
 
 def run_comparison(preset="quick", regime="pedestrian", radius=0.1, rng=None,
-                   runs=1, jobs=1, dynamics="delta"):
-    """Head retention per clustering metric over shared mobility traces."""
+                   runs=1, jobs=1, dynamics="delta", topology=None):
+    """Head retention per clustering metric over shared mobility traces.
+
+    ``topology`` (a list of generator specs) switches the family to the
+    static off-UDG robustness table: mobility traces need geometry, so
+    arbitrary generators are instead compared by cluster count, head
+    eccentricity and routing stretch at matched mean degree -- see
+    :func:`repro.experiments.robustness.run_robustness`.
+    """
+    if topology:
+        # Deferred import: robustness composes scalability's helpers,
+        # keeping this module import-light for the mobility-only path.
+        from repro.experiments.robustness import run_robustness
+        return run_robustness(topology, preset=preset, radius=radius,
+                              rng=rng, runs=runs, jobs=jobs)
     return run_experiment(COMPARISON_SPEC, get_preset(preset), rng=rng,
                           jobs=jobs, regime=regime, radius=radius, runs=runs,
                           dynamics=dynamics)

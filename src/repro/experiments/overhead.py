@@ -16,7 +16,8 @@ Both run through the parallel experiment engine: churn fans out one task
 per mobility trace, beacon cost one task per protocol configuration.
 """
 
-from repro.experiments.common import get_preset
+from repro.experiments.common import get_preset, resolve_topology_spec
+from repro.graph.models.registry import build_topology_spec
 from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.metric_windows import (METRIC_SCRATCH, check_dynamics,
                                               metric_windows, model_snapshots)
@@ -37,14 +38,26 @@ _METRICS = METRIC_SCRATCH
 # ----------------------------------------------------------------------
 
 def _run_churn_trace(task):
-    """One mobility trace; returns total re-affiliations per metric."""
-    (nodes, speed_range, radius, windows, mobility_window, dynamics,
+    """One trace; returns total re-affiliations per metric.
+
+    With a topology spec the trace is *resampled*: each window draws an
+    independent deployment from the same generator, so the measured
+    churn is the identifier-anchoring floor -- how much affiliation a
+    metric retains when the topology is completely redrawn (max-min's
+    id anchoring survives it; density's structural heads do not).
+    """
+    (nodes, speed_range, radius, windows, mobility_window, dynamics, spec,
      run_rng) = task
-    model = RandomDirectionModel(nodes, speed_range, rng=run_rng)
     totals = {name: 0.0 for name in _METRICS}
     previous = {name: None for name in _METRICS}
-    snapshots = model_snapshots(model, windows, mobility_window)
-    for clusterings in metric_windows(snapshots, radius, dynamics=dynamics):
+    if spec is not None:
+        window_clusterings = _resample_windows(spec, windows, run_rng)
+    else:
+        model = RandomDirectionModel(nodes, speed_range, rng=run_rng)
+        snapshots = model_snapshots(model, windows, mobility_window)
+        window_clusterings = metric_windows(snapshots, radius,
+                                            dynamics=dynamics)
+    for clusterings in window_clusterings:
         for name, clustering in clusterings.items():
             if previous[name] is not None:
                 totals[name] += reaffiliations(previous[name], clustering)
@@ -52,12 +65,24 @@ def _run_churn_trace(task):
     return totals
 
 
+def _resample_windows(spec, windows, run_rng):
+    """Per-window clusterings over independent draws of ``spec``."""
+    for window_rng in spawn_rngs(run_rng, windows + 1):
+        topology = build_topology_spec(spec, rng=window_rng)
+        yield {name: scratch(topology)
+               for name, scratch in _METRICS.items()}
+
+
 def _build_churn(preset, rng, options):
     speed_range = speed_range_in_sides(SPEED_REGIMES[options["regime"]])
     windows = int(round(preset.mobility_duration / preset.mobility_window))
     dynamics = check_dynamics(options.get("dynamics", "delta"))
+    spec = options.get("topology")
+    if spec is not None:
+        spec = resolve_topology_spec(spec, count=preset.mobility_nodes,
+                                     radius=options["radius"])
     return [(preset.mobility_nodes, speed_range, options["radius"], windows,
-             preset.mobility_window, dynamics, run_rng)
+             preset.mobility_window, dynamics, spec, run_rng)
             for run_rng in spawn_rngs(rng, options["runs"])]
 
 
@@ -66,8 +91,11 @@ def _reduce_churn(preset, tasks, results, options):
               for name in _METRICS}
     windows = int(round(preset.mobility_duration / preset.mobility_window))
     window_count = options["runs"] * windows
+    spec = tasks[0][6] if tasks else None
+    regime = (f"total resampling of {spec}" if spec is not None
+              else f"{options['regime']} mobility")
     table = Table(
-        title=(f"Re-affiliation churn under {options['regime']} mobility "
+        title=(f"Re-affiliation churn under {regime} "
                f"({preset.mobility_nodes} nodes, per window per 100 nodes)"),
         headers=["metric", "re-affiliations / window / 100 nodes"],
     )
@@ -84,11 +112,17 @@ REAFFILIATION_SPEC = ExperimentSpec(name="reaffiliation_churn",
 
 
 def run_reaffiliation_churn(preset="quick", regime="pedestrian", radius=0.1,
-                            rng=None, runs=2, jobs=1, dynamics="delta"):
-    """Mean re-affiliations per window per 100 nodes, per metric."""
+                            rng=None, runs=2, jobs=1, dynamics="delta",
+                            topology=None):
+    """Mean re-affiliations per window per 100 nodes, per metric.
+
+    ``topology`` (a generator spec) replaces the mobility trace with
+    independent per-window redraws of that topology -- the total-churn
+    regime that isolates identifier anchoring from motion continuity.
+    """
     return run_experiment(REAFFILIATION_SPEC, get_preset(preset), rng=rng,
                           jobs=jobs, regime=regime, radius=radius, runs=runs,
-                          dynamics=dynamics)
+                          dynamics=dynamics, topology=topology)
 
 
 # ----------------------------------------------------------------------

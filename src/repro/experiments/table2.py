@@ -14,9 +14,12 @@ structure (steps 1/2/3) is seed-independent.
 
 from repro.clustering.density import all_densities
 from repro.clustering.oracle import compute_clustering
-from repro.experiments.common import get_preset
+from repro.experiments.common import (
+    build_topology,
+    get_preset,
+    resolve_topology_spec,
+)
 from repro.experiments.engine import ExperimentSpec, run_experiment
-from repro.graph.generators import poisson_topology
 from repro.metrics.tables import Table
 from repro.protocols.stack import standard_stack
 from repro.runtime.simulator import StepSimulator
@@ -81,13 +84,18 @@ def learning_milestones(topology, rng=None, max_steps=200, use_dag=False):
 
 
 def _build(preset, rng, options):
-    return [(preset.intensity / 4, options["radius"], run_rng)
+    spec = options.get("topology")
+    if spec is not None:
+        spec = resolve_topology_spec(spec, count=round(preset.intensity / 4),
+                                     radius=options["radius"])
+    return [(preset.intensity / 4, options["radius"], spec, run_rng)
             for run_rng in spawn_rngs(rng, preset.runs)]
 
 
 def _run_one(task):
-    intensity, radius, run_rng = task
-    topology = poisson_topology(intensity, radius, rng=run_rng)
+    intensity, radius, spec, run_rng = task
+    topology = build_topology("random", intensity, radius, run_rng,
+                              topology=spec)
     if len(topology.graph) == 0:
         return None
     return learning_milestones(topology, rng=run_rng)
@@ -100,8 +108,11 @@ def _reduce(preset, tasks, results, options):
             continue
         for key in totals:
             totals[key] += milestones[key]
+    spec = tasks[0][2] if tasks else None
+    deployment = "" if spec is None else f" on {spec}"
     table = Table(
-        title="Table 2: learning schedule (mean first step, paper in parens)",
+        title=(f"Table 2: learning schedule{deployment} "
+               "(mean first step, paper in parens)"),
         headers=["knowledge", "measured step", "paper"],
     )
     table.add_row(["1-neighbors (neighborhood table)",
@@ -119,11 +130,13 @@ TABLE2_SPEC = ExperimentSpec(name="table2", build=_build, run=_run_one,
                              reduce=_reduce)
 
 
-def run_table2(preset="quick", radius=0.15, rng=None, jobs=1):
+def run_table2(preset="quick", radius=0.15, rng=None, jobs=1, topology=None):
     """Average milestone steps over random deployments; returns a Table.
 
     Each deployment gets its own independently spawned generator, so runs
     are order-independent and the table is identical for every ``jobs``.
+    ``topology`` swaps the Poisson deployment for any registered
+    generator spec (family defaults filled; explicit parameters win).
     """
     return run_experiment(TABLE2_SPEC, get_preset(preset), rng=rng,
-                          jobs=jobs, radius=radius)
+                          jobs=jobs, radius=radius, topology=topology)

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     clustered,
     get_preset,
     per_run_rngs,
+    resolve_topology_spec,
 )
 from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.paper_values import TABLE4, TABLE4_RADII
@@ -27,16 +28,25 @@ _CONFIGURATIONS = ((True, "with"), (False, "no"))
 
 
 def _run_one(task):
-    kind, intensity, radius, use_dag, run_rng = task
-    topology = build_topology(kind, intensity, radius, run_rng)
+    kind, intensity, radius, use_dag, spec, run_rng = task
+    topology = build_topology(kind, intensity, radius, run_rng, topology=spec)
     clustering, _dag_ids = clustered(topology, rng=run_rng, use_dag=use_dag)
     return cluster_stats(clustering)
+
+
+def _spec_for(options, preset, radius):
+    """The per-radius resolved topology spec (matched degree tracks R)."""
+    spec = options.get("topology")
+    if spec is None:
+        return None
+    return resolve_topology_spec(spec, count=preset.intensity, radius=radius)
 
 
 def _build(preset, rng, options):
     radii = options["radii"]
     cell_rngs = iter(per_run_rngs(rng, 2 * len(radii)))
-    return [("random", preset.intensity, radius, use_dag, run_rng)
+    return [("random", preset.intensity, radius, use_dag,
+             _spec_for(options, preset, radius), run_rng)
             for radius in radii
             for use_dag, _label in _CONFIGURATIONS
             for run_rng in per_run_rngs(next(cell_rngs), preset.runs)]
@@ -44,8 +54,10 @@ def _build(preset, rng, options):
 
 def _reduce(preset, tasks, results, options):
     radii = options["radii"]
+    deployment = ("random geometric graphs" if options.get("topology") is None
+                  else f"{options['topology']} (degree matched per R)")
     table = Table(
-        title=(f"Table 4: clusters on random geometric graphs "
+        title=(f"Table 4: clusters on {deployment} "
                f"(lambda={preset.intensity}, {preset.runs} runs; "
                "paper in parens)"),
         headers=["R", "DAG", "#clusters", "eccentricity", "tree length",
@@ -68,7 +80,13 @@ TABLE4_SPEC = ExperimentSpec(name="table4", build=_build, run=_run_one,
                              reduce=_reduce)
 
 
-def run_table4(preset="quick", radii=TABLE4_RADII, rng=None, jobs=1):
-    """Regenerate Table 4; returns a Table."""
+def run_table4(preset="quick", radii=TABLE4_RADII, rng=None, jobs=1,
+               topology=None):
+    """Regenerate Table 4; returns a Table.
+
+    ``topology`` swaps the Poisson deployment for any registered
+    generator spec; the matched mean degree is re-derived per radius
+    cell, so the sweep stays degree-matched to the paper's R values.
+    """
     return run_experiment(TABLE4_SPEC, get_preset(preset), rng=rng,
-                          jobs=jobs, radii=radii)
+                          jobs=jobs, radii=radii, topology=topology)

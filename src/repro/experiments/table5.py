@@ -12,7 +12,7 @@ RNG spawn order, so results are identical for every ``jobs`` value.
 """
 
 from repro.experiments.common import build_topology, clustered, get_preset, \
-    per_run_rngs
+    per_run_rngs, resolve_topology_spec
 from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.paper_values import TABLE4_RADII, TABLE5
 from repro.metrics.clusters import cluster_stats, mean_stats
@@ -28,16 +28,25 @@ def _cell_runs(preset, use_dag):
 
 
 def _run_one(task):
-    intensity, radius, use_dag, run_rng = task
-    topology = build_topology("grid", intensity, radius, run_rng)
+    intensity, radius, use_dag, spec, run_rng = task
+    topology = build_topology("grid", intensity, radius, run_rng,
+                              topology=spec)
     clustering, _dag_ids = clustered(topology, rng=run_rng, use_dag=use_dag)
     return cluster_stats(clustering)
+
+
+def _spec_for(options, preset, radius):
+    spec = options.get("topology")
+    if spec is None:
+        return None
+    return resolve_topology_spec(spec, count=preset.intensity, radius=radius)
 
 
 def _build(preset, rng, options):
     radii = options["radii"]
     cell_rngs = iter(per_run_rngs(rng, 2 * len(radii)))
-    return [(preset.intensity, radius, use_dag, run_rng)
+    return [(preset.intensity, radius, use_dag,
+             _spec_for(options, preset, radius), run_rng)
             for radius in radii
             for use_dag, _label in _CONFIGURATIONS
             for run_rng in per_run_rngs(next(cell_rngs),
@@ -46,8 +55,11 @@ def _build(preset, rng, options):
 
 def _reduce(preset, tasks, results, options):
     radii = options["radii"]
+    deployment = ("the grid with sequential ids"
+                  if options.get("topology") is None
+                  else f"{options['topology']} (degree matched per R)")
     table = Table(
-        title=(f"Table 5: clusters on the grid with sequential ids "
+        title=(f"Table 5: clusters on {deployment} "
                f"(~{preset.intensity} nodes, {preset.runs} runs; "
                "paper in parens)"),
         headers=["R", "DAG", "#clusters", "eccentricity", "tree length",
@@ -70,7 +82,13 @@ TABLE5_SPEC = ExperimentSpec(name="table5", build=_build, run=_run_one,
                              reduce=_reduce)
 
 
-def run_table5(preset="quick", radii=TABLE4_RADII, rng=None, jobs=1):
-    """Regenerate Table 5; returns a Table."""
+def run_table5(preset="quick", radii=TABLE4_RADII, rng=None, jobs=1,
+               topology=None):
+    """Regenerate Table 5; returns a Table.
+
+    ``topology`` swaps the adversarial grid for any registered generator
+    spec (the DAG columns then measure tie-break decoupling on that
+    model's own identifier layout).
+    """
     return run_experiment(TABLE5_SPEC, get_preset(preset), rng=rng,
-                          jobs=jobs, radii=radii)
+                          jobs=jobs, radii=radii, topology=topology)

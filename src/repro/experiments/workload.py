@@ -42,7 +42,8 @@ from repro.collectors import (
     StretchCollector,
 )
 from repro.clustering.engine import engine_for
-from repro.experiments.common import get_preset
+from repro.experiments.common import get_preset, resolve_topology_spec
+from repro.graph.models.registry import build_topology_spec
 from repro.experiments.engine import ExperimentSpec, run_experiment
 from repro.experiments.metric_windows import (
     METRIC_ENGINES,
@@ -149,6 +150,12 @@ def _build(preset, rng, options):
         count = options["requests"]
         chunks = 1 if kind == "mobility" else min(options["chunks"], count)
         counts = _split_evenly(count, chunks)
+        topology = options.get("topology")
+        if topology is not None and kind == "mobility":
+            raise ConfigurationError(
+                "the mobility workload needs geometric motion; it cannot "
+                "run with --topology (drop the mobility kind or the "
+                "topology override)")
         params = {
             "nodes": preset.mobility_nodes,
             "radius": options["radius"],
@@ -156,6 +163,7 @@ def _build(preset, rng, options):
             "dynamics": check_dynamics(options.get("dynamics", "delta")),
             "metric": check_metric(options.get("metric", "density")),
             "serving": check_serving(options.get("serving", "batch")),
+            "topology": topology,
         }
         for chunk_rng, chunk_count in zip(spawn_rngs(root, chunks), counts):
             tasks.append((kind, params, topo_seed, chunk_count, chunk_rng))
@@ -168,12 +176,15 @@ def _build(preset, rng, options):
 _HIERARCHY_CACHE = {}
 
 
-def _hierarchy_for(nodes, radius, topo_seed):
-    key = (nodes, radius, topo_seed)
+def _hierarchy_for(nodes, radius, topo_seed, spec=None):
+    key = (nodes, radius, topo_seed, str(spec) if spec is not None else None)
     cached = _HIERARCHY_CACHE.get(key)
     if cached is None:
         build_rng = np.random.default_rng(topo_seed)
-        topology = uniform_topology(nodes, radius, rng=build_rng)
+        if spec is not None:
+            topology = build_topology_spec(spec, rng=build_rng)
+        else:
+            topology = uniform_topology(nodes, radius, rng=build_rng)
         hierarchy = build_hierarchy(topology, rng=build_rng)
         if len(_HIERARCHY_CACHE) >= 4:
             _HIERARCHY_CACHE.pop(next(iter(_HIERARCHY_CACHE)))
@@ -218,7 +229,8 @@ def _run_one(task):
     if kind == "mobility":
         return _run_mobility(params, count, chunk_rng)
     _topology, hierarchy = _hierarchy_for(params["nodes"], params["radius"],
-                                          topo_seed)
+                                          topo_seed,
+                                          spec=params.get("topology"))
     nodes = sorted(hierarchy.physical.topology.graph.nodes)
     proxy = _make_collectors(hierarchy)
     requests = _requests_for(kind, nodes, count, chunk_rng)
@@ -375,7 +387,7 @@ WORKLOAD_SPEC = ExperimentSpec(name="workload", build=_build, run=_run_one,
 def run_workload(preset="quick", rng=None, jobs=1, kinds=None, radius=0.1,
                  requests=None, chunks=CHUNKS,
                  mobility_windows=MOBILITY_WINDOWS, dynamics="delta",
-                 metric="density", serving="batch"):
+                 metric="density", serving="batch", topology=None):
     """Serve every workload shape; returns a :class:`WorkloadReport`.
 
     ``requests`` overrides the per-shape request budget (default by
@@ -385,13 +397,23 @@ def run_workload(preset="quick", rng=None, jobs=1, kinds=None, radius=0.1,
     the clustering the mobility shape maintains (``density`` or one of
     the baseline engines -- ``degree``, ``lowest_id``, ``maxmin``).
     ``serving`` selects the request loop (``batch``, the default, or
-    the per-request reference ``request``; identical output).  Output
-    is identical for every backend and worker count.
+    the per-request reference ``request``; identical output).
+    ``topology`` (a generator spec) replaces the static deployment; the
+    mobility shape then drops out of the default kinds (motion needs
+    geometry) and requesting it explicitly is an error.  Output is
+    identical for every backend and worker count.
     """
     preset = get_preset(preset)
+    if topology is not None:
+        topology = resolve_topology_spec(
+            topology, count=preset.mobility_nodes, radius=radius)
+        if kinds is None:
+            kinds = tuple(kind for kind in WORKLOAD_KINDS
+                          if kind != "mobility")
     kinds = tuple(kinds) if kinds is not None else WORKLOAD_KINDS
     return run_experiment(
         WORKLOAD_SPEC, preset, rng=rng, jobs=jobs, kinds=kinds,
         radius=radius, requests=_requests_per_kind(preset, requests),
         chunks=chunks, mobility_windows=mobility_windows, dynamics=dynamics,
-        metric=check_metric(metric), serving=check_serving(serving))
+        metric=check_metric(metric), serving=check_serving(serving),
+        topology=topology)

@@ -129,6 +129,13 @@ class DynamicUnitDisk:
 
     def __init__(self, positions, radius, ids=None, skin=None):
         positions = np.array(positions, dtype=float).reshape(-1, 2)
+        if radius is None:
+            raise ConfigurationError(
+                "dynamic unit-disk maintenance needs a transmission radius; "
+                "this topology has radius=None (a combinatorial generator "
+                "or a file without one) -- mobility and dynamics only apply "
+                "to geometric topologies"
+            )
         if radius <= 0:
             raise ConfigurationError(f"radius must be positive, got {radius}")
         if skin is None:

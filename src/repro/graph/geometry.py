@@ -76,6 +76,10 @@ def pairs_within_range(positions, radius):
     verify against brute force.
     """
     positions = _validated_positions(positions)
+    if radius is None:
+        raise ConfigurationError(
+            "range queries need a transmission radius; got radius=None "
+            "(only geometric topologies define one)")
     if radius <= 0:
         raise ConfigurationError(f"radius must be positive, got {radius}")
     n = len(positions)
@@ -134,6 +138,10 @@ def chunk_pairs(positions, radius, max_pairs=None):
     consumers (the quasi-UDG gray-zone RNG draws) rely on.
     """
     positions = _validated_positions(positions)
+    if radius is None:
+        raise ConfigurationError(
+            "range queries need a transmission radius; got radius=None "
+            "(only geometric topologies define one)")
     if radius <= 0:
         raise ConfigurationError(f"radius must be positive, got {radius}")
     budget = DEFAULT_CHUNK_PAIRS if max_pairs is None else int(max_pairs)

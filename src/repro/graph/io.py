@@ -1,0 +1,376 @@
+"""Graph I/O: edge-list and GML load/save for recorded topologies.
+
+Real-world topologies and recorded mobility snapshots arrive as files,
+not generators.  This module round-trips a
+:class:`~repro.graph.generators.Topology` through two formats:
+
+* **edge list** (``.edges`` / ``.txt``) -- a commented text format with
+  an explicit node section (one ``<node> <tie-id> [<x> <y>]`` line per
+  node), so isolated nodes, non-contiguous identifiers and positions
+  all survive;
+* **GML** (``.gml``) -- the interchange subset real datasets use:
+  ``node [ id label graphics [ x y ] ]`` and ``edge [ source target ]``
+  blocks, parsed by a small recursive tokenizer that skips unknown
+  attributes.
+
+Both loaders rebuild the graph through ``Graph.from_pair_array`` over
+index pairs in the file's node order, so a save/load cycle reproduces
+the CSR arrays (``indptr`` / ``indices`` / ``ids``) bit for bit -- the
+round-trip contract the test suite asserts.  Positions are written with
+``repr`` (shortest exact decimal), so float coordinates round-trip
+exactly too.
+
+Registered as the ``file`` topology scheme:
+``--topology file:trace.gml`` (or ``file:path=trace.edges,format=edges``)
+feeds a recorded topology to every experiment family.
+"""
+
+import os
+
+import numpy as np
+
+from repro.graph.generators import Topology
+from repro.graph.graph import Graph
+from repro.graph.models.registry import register_topology
+from repro.util.errors import ConfigurationError
+
+#: Supported formats, by canonical name.
+FORMATS = ("edges", "gml")
+
+_EXTENSIONS = {".edges": "edges", ".txt": "edges", ".gml": "gml"}
+
+_EDGE_LIST_MAGIC = "# repro edge list v1"
+
+
+def infer_format(path, format=None):
+    """Resolve an explicit or extension-inferred format name."""
+    if format is not None:
+        if format not in FORMATS:
+            raise ConfigurationError(
+                f"unknown graph format {format!r}; expected one of {FORMATS}"
+            )
+        return format
+    extension = os.path.splitext(str(path))[1].lower()
+    if extension in _EXTENSIONS:
+        return _EXTENSIONS[extension]
+    raise ConfigurationError(
+        f"cannot infer graph format from {path!r}; pass format= "
+        f"(one of {FORMATS})"
+    )
+
+
+def save_graph(topology, path, format=None):
+    """Write ``topology`` to ``path`` in the given or inferred format."""
+    format = infer_format(path, format)
+    if format == "edges":
+        save_edge_list(topology, path)
+    else:
+        save_gml(topology, path)
+
+
+def load_graph(path, format=None):
+    """Load a :class:`Topology` from ``path`` (format inferred from the
+    extension unless given)."""
+    format = infer_format(path, format)
+    if format == "edges":
+        return load_edge_list(path)
+    return load_gml(path)
+
+
+@register_topology("file", geometric=True)
+def file_topology(path=None, format=None, rng=None):
+    """The ``file`` scheme: load a recorded topology from disk.
+
+    ``rng`` is accepted for registry uniformity and ignored -- a
+    recorded topology is deterministic by definition.
+    """
+    if path is None:
+        raise ConfigurationError(
+            "the file topology requires path= (e.g. file:trace.gml)"
+        )
+    if not os.path.exists(path):
+        raise ConfigurationError(f"graph file {path!r} does not exist")
+    return load_graph(path, format=format)
+
+
+# ----------------------------------------------------------------------
+# node bookkeeping shared by both formats
+# ----------------------------------------------------------------------
+
+
+def _node_token(node):
+    """A whitespace-free token for a node identifier (int or str)."""
+    token = str(node)
+    if not token or any(ch.isspace() for ch in token):
+        raise ConfigurationError(
+            f"node identifier {node!r} cannot be written to a graph file"
+        )
+    return token
+
+
+def _parse_node(token):
+    """Inverse of :func:`_node_token`: ints come back as ints."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _topology_rows(topology):
+    """``(node, tie_id, position-or-None)`` per node, in CSR id order."""
+    csr = topology.graph.to_csr()
+    positions = topology.positions or None
+    return [
+        (node, topology.ids[node], positions[node] if positions else None)
+        for node in csr.ids
+    ]
+
+
+def _assemble(nodes, ties, positions, index_pairs, radius=None):
+    """Shared loader tail: index pairs -> CSR-first Topology."""
+    if len(set(nodes)) != len(nodes):
+        raise ConfigurationError("graph file repeats a node identifier")
+    graph = Graph.from_pair_array(
+        np.asarray(index_pairs, dtype=np.int64).reshape(-1, 2), nodes
+    )
+    ids = dict(zip(nodes, ties))
+    return Topology(
+        graph,
+        positions=positions if positions else None,
+        ids=ids,
+        radius=radius,
+    )
+
+
+# ----------------------------------------------------------------------
+# edge list
+# ----------------------------------------------------------------------
+
+
+def save_edge_list(topology, path):
+    """Write the ``repro edge list v1`` text format.
+
+    Node lines are ``<node> <tie-id>`` plus ``<x> <y>`` when positions
+    exist; edge lines are node-*index* pairs in CSR (lexicographic)
+    order, so the file is a deterministic function of the topology.
+    """
+    rows = _topology_rows(topology)
+    csr = topology.graph.to_csr()
+    row_idx, col_idx = csr.edge_arrays()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_EDGE_LIST_MAGIC + "\n")
+        if topology.radius is not None:
+            handle.write(f"# radius {topology.radius!r}\n")
+        handle.write(f"# nodes {len(rows)}\n")
+        for node, tie, position in rows:
+            line = f"{_node_token(node)} {tie}"
+            if position is not None:
+                line += f" {position[0]!r} {position[1]!r}"
+            handle.write(line + "\n")
+        handle.write(f"# edges {len(row_idx)}\n")
+        for u, v in zip(row_idx.tolist(), col_idx.tolist()):
+            handle.write(f"{u} {v}\n")
+
+
+def load_edge_list(path):
+    """Load a ``repro edge list v1`` file into a :class:`Topology`."""
+    with open(path, encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle]
+    if not lines or lines[0] != _EDGE_LIST_MAGIC:
+        raise ConfigurationError(
+            f"{path!r} is not a repro edge list (missing "
+            f"{_EDGE_LIST_MAGIC!r} header)"
+        )
+    radius = None
+    nodes, ties, positions = [], [], {}
+    index_pairs = []
+    expected_nodes = expected_edges = None
+    section = None
+    for line in lines[1:]:
+        if not line:
+            continue
+        if line.startswith("#"):
+            fields = line[1:].split()
+            if fields[:1] == ["radius"]:
+                radius = float(fields[1])
+            elif fields[:1] == ["nodes"]:
+                expected_nodes = int(fields[1])
+                section = "nodes"
+            elif fields[:1] == ["edges"]:
+                expected_edges = int(fields[1])
+                section = "edges"
+            continue
+        fields = line.split()
+        if section == "nodes":
+            if len(fields) not in (2, 4):
+                raise ConfigurationError(f"malformed node line {line!r} in {path!r}")
+            node = _parse_node(fields[0])
+            nodes.append(node)
+            ties.append(int(fields[1]))
+            if len(fields) == 4:
+                positions[node] = (float(fields[2]), float(fields[3]))
+        elif section == "edges":
+            if len(fields) != 2:
+                raise ConfigurationError(f"malformed edge line {line!r} in {path!r}")
+            index_pairs.append((int(fields[0]), int(fields[1])))
+        else:
+            raise ConfigurationError(
+                f"data line {line!r} before any section header in {path!r}"
+            )
+    if expected_nodes is not None and expected_nodes != len(nodes):
+        raise ConfigurationError(
+            f"{path!r} declares {expected_nodes} nodes but lists {len(nodes)}"
+        )
+    if expected_edges is not None and expected_edges != len(index_pairs):
+        raise ConfigurationError(
+            f"{path!r} declares {expected_edges} edges but lists "
+            f"{len(index_pairs)}"
+        )
+    return _assemble(nodes, ties, positions, index_pairs, radius=radius)
+
+
+# ----------------------------------------------------------------------
+# GML
+# ----------------------------------------------------------------------
+
+
+def save_gml(topology, path):
+    """Write the GML interchange subset (AGNet-style).
+
+    Node blocks carry ``id`` (the CSR index), ``label`` (the node
+    identifier), ``tie`` (the tie-break identifier) and a ``graphics``
+    block when positions exist; edge blocks reference node ids in CSR
+    order.
+    """
+    rows = _topology_rows(topology)
+    csr = topology.graph.to_csr()
+    row_idx, col_idx = csr.edge_arrays()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("graph [\n  directed 0\n")
+        if topology.radius is not None:
+            handle.write(f"  radius {topology.radius!r}\n")
+        for index, (node, tie, position) in enumerate(rows):
+            handle.write("  node [\n")
+            handle.write(f"    id {index}\n")
+            handle.write(f'    label "{_node_token(node)}"\n')
+            handle.write(f"    tie {tie}\n")
+            if position is not None:
+                handle.write(f"    graphics [ x {position[0]!r} y {position[1]!r} ]\n")
+            handle.write("  ]\n")
+        for u, v in zip(row_idx.tolist(), col_idx.tolist()):
+            handle.write(f"  edge [ source {u} target {v} ]\n")
+        handle.write("]\n")
+
+
+def _tokenize_gml(text):
+    """GML token stream: quoted strings stay single tokens."""
+    tokens = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == '"':
+            j = text.index('"', i + 1)
+            tokens.append(("str", text[i + 1 : j]))
+            i = j + 1
+        elif ch in "[]":
+            tokens.append((ch, ch))
+            i += 1
+        elif ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "[]":
+                j += 1
+            tokens.append(("atom", text[i:j]))
+            i = j
+    return tokens
+
+
+def _parse_gml_block(tokens, start):
+    """Parse ``key value`` entries until ``]``; returns (entries, next).
+
+    Entries are ``(key, value)`` pairs where a value is a string, a
+    number, or a nested entry list.  Repeated keys (``node``, ``edge``)
+    stay repeated -- GML is a multimap.
+    """
+    entries = []
+    i = start
+    while i < len(tokens):
+        kind, value = tokens[i]
+        if kind == "]":
+            return entries, i + 1
+        if kind != "atom":
+            raise ConfigurationError(f"unexpected GML token {value!r}")
+        key = value
+        i += 1
+        if i >= len(tokens):
+            raise ConfigurationError(f"GML key {key!r} has no value")
+        kind, value = tokens[i]
+        if kind == "[":
+            nested, i = _parse_gml_block(tokens, i + 1)
+            entries.append((key, nested))
+        else:
+            entries.append((key, _parse_node(value) if kind == "atom" else value))
+            i += 1
+    return entries, i
+
+
+def _gml_lookup(entries, key, default=None):
+    for entry_key, value in entries:
+        if entry_key == key:
+            return value
+    return default
+
+
+def load_gml(path):
+    """Load a GML file into a :class:`Topology`.
+
+    Accepts the interchange subset: ``graph [ node [ id ... ] edge [
+    source ... target ... ] ]``.  ``label`` (when present) names the
+    node, else the numeric ``id`` does; ``tie`` defaults to the node's
+    position in file order; unknown attributes are skipped.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    entries, _ = _parse_gml_block(_tokenize_gml(text), 0)
+    graph_entries = _gml_lookup(entries, "graph")
+    if graph_entries is None:
+        raise ConfigurationError(f"{path!r} contains no GML graph block")
+    radius = _gml_lookup(graph_entries, "radius")
+    radius = float(radius) if radius is not None else None
+    nodes, ties, positions = [], [], {}
+    index_of = {}
+    index_pairs = []
+    for key, value in graph_entries:
+        if key == "node":
+            gml_id = _gml_lookup(value, "id")
+            if gml_id is None:
+                raise ConfigurationError(f"GML node without id in {path!r}")
+            label = _gml_lookup(value, "label")
+            node = _parse_node(label) if label is not None else gml_id
+            tie = _gml_lookup(value, "tie")
+            index_of[gml_id] = len(nodes)
+            nodes.append(node)
+            ties.append(int(tie) if tie is not None else len(ties))
+            graphics = _gml_lookup(value, "graphics")
+            if graphics is not None:
+                x = _gml_lookup(graphics, "x")
+                y = _gml_lookup(graphics, "y")
+                if x is not None and y is not None:
+                    positions[node] = (float(x), float(y))
+        elif key == "edge":
+            source = _gml_lookup(value, "source")
+            target = _gml_lookup(value, "target")
+            if source is None or target is None:
+                raise ConfigurationError(f"GML edge without source/target in {path!r}")
+            index_pairs.append((source, target))
+    try:
+        index_pairs = [(index_of[u], index_of[v]) for u, v in index_pairs]
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"GML edge references unknown node id {missing} in {path!r}"
+        ) from None
+    return _assemble(nodes, ties, positions, index_pairs, radius=radius)

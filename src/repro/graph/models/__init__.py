@@ -1,0 +1,56 @@
+"""Topology generators beyond the unit disk, behind one registry.
+
+Importing this package registers every generator: the distance-rule
+family (:mod:`~repro.graph.models.spatial`), Erdős–Rényi and the
+configuration models (:mod:`~repro.graph.models.random_graphs`),
+Newman–Watts small worlds (:mod:`~repro.graph.models.small_world`),
+Barabási–Albert scale-free graphs
+(:mod:`~repro.graph.models.scale_free`), and the paper's own shapes
+(:mod:`~repro.graph.models.builtin`).  The ``file`` scheme for recorded
+topologies lives in :mod:`repro.graph.io` and registers on the same
+import path.
+
+All generators emit the vectorized lexicographic pair-array format, so
+graphs arrive CSR-first through ``Graph.from_pair_array`` /
+``from_pair_chunks`` and inherit the streaming construction path above
+``STREAM_NODE_THRESHOLD``.
+"""
+
+from repro.graph.models import builtin  # noqa: F401
+from repro.graph.models.random_graphs import (
+    erdos_renyi_topology,
+    fixed_degree_topology,
+    gaussian_degree_topology,
+)
+from repro.graph.models.registry import (
+    TopologySpec,
+    accepted_parameters,
+    as_topology_spec,
+    build_topology_spec,
+    degree_parameters,
+    is_geometric,
+    register_topology,
+    registered_topologies,
+    topology_for,
+)
+from repro.graph.models.scale_free import scale_free_topology
+from repro.graph.models.small_world import nw_small_world_topology
+from repro.graph.models.spatial import distance_rule_topology
+
+__all__ = [
+    "TopologySpec",
+    "accepted_parameters",
+    "as_topology_spec",
+    "build_topology_spec",
+    "degree_parameters",
+    "distance_rule_topology",
+    "erdos_renyi_topology",
+    "fixed_degree_topology",
+    "gaussian_degree_topology",
+    "is_geometric",
+    "nw_small_world_topology",
+    "register_topology",
+    "registered_topologies",
+    "scale_free_topology",
+    "topology_for",
+]

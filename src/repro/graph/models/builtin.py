@@ -1,0 +1,95 @@
+"""Registry entries for the paper's own shapes.
+
+The generator functions live in :mod:`repro.graph.generators` and
+:mod:`repro.graph.quasi_udg` (they predate the registry); this module
+wraps them as registered factories so ``--topology figure1`` (or
+``grid``, ``poisson``, ``quasi_udg``, ...) works everywhere the Poisson
+default does.
+"""
+
+from repro.graph.generators import (
+    complete_topology,
+    figure1_topology,
+    grid_topology,
+    line_topology,
+    poisson_topology,
+    ring_topology,
+    square_grid_topology,
+    star_topology,
+    uniform_topology,
+)
+from repro.graph.models.registry import register_topology
+from repro.graph.quasi_udg import quasi_uniform_topology
+from repro.util.errors import ConfigurationError
+
+
+@register_topology("poisson", geometric=True)
+def _poisson(intensity=None, radius=None, count=None, rng=None, side=1.0):
+    if intensity is None:
+        intensity = count  # experiment default-fill supplies count=
+    if intensity is None or radius is None:
+        raise ConfigurationError("poisson requires intensity= and radius=")
+    return poisson_topology(intensity, radius, rng=rng, side=side)
+
+
+@register_topology("uniform", geometric=True)
+def _uniform(count=None, radius=None, rng=None, side=1.0):
+    if count is None or radius is None:
+        raise ConfigurationError("uniform requires count= and radius=")
+    return uniform_topology(count, radius, rng=rng, side=side)
+
+
+@register_topology("grid", geometric=True)
+def _grid(rows=None, cols=None, radius=None, rng=None, side=1.0):
+    if rows is None or cols is None or radius is None:
+        raise ConfigurationError("grid requires rows=, cols= and radius=")
+    return grid_topology(rows, cols, radius, side=side)
+
+
+@register_topology("square_grid", geometric=True)
+def _square_grid(count=None, radius=None, rng=None, side=1.0):
+    if count is None or radius is None:
+        raise ConfigurationError("square_grid requires count= and radius=")
+    return square_grid_topology(count, radius, side=side)
+
+
+@register_topology("quasi_udg", geometric=True)
+def _quasi_udg(count=None, r_min=None, r_max=None, rng=None, side=1.0):
+    if count is None or r_min is None or r_max is None:
+        raise ConfigurationError("quasi_udg requires count=, r_min= and r_max=")
+    return quasi_uniform_topology(count, r_min, r_max, rng=rng, side=side)
+
+
+@register_topology("figure1", geometric=True)
+def _figure1(rng=None):
+    return figure1_topology()
+
+
+@register_topology("line")
+def _line(count=None, rng=None):
+    if count is None:
+        raise ConfigurationError("line requires count=")
+    return line_topology(count)
+
+
+@register_topology("ring")
+def _ring(count=None, rng=None):
+    if count is None:
+        raise ConfigurationError("ring requires count=")
+    return ring_topology(count)
+
+
+@register_topology("star")
+def _star(leaves=None, count=None, rng=None):
+    if leaves is None:
+        if count is None:
+            raise ConfigurationError("star requires leaves= (or count=)")
+        leaves = count - 1
+    return star_topology(leaves)
+
+
+@register_topology("complete")
+def _complete(count=None, rng=None):
+    if count is None:
+        raise ConfigurationError("complete requires count=")
+    return complete_topology(count)

@@ -1,0 +1,158 @@
+"""Degree-driven random graphs: G(n, p) and configuration models.
+
+Three position-free generators:
+
+* :func:`erdos_renyi_topology` -- G(n, p) by geometric skipping over the
+  lexicographic pair enumeration: gap lengths are drawn ``Geometric(p)``
+  and linear indices converted to ``(i, j)`` rows in bulk, so the
+  candidate space is never materialized (O(m) work and memory for any
+  ``n``) and the emitted rows are strictly lexicographically increasing
+  -- the exact ``chunk_pairs`` contract.
+* :func:`fixed_degree_topology` / :func:`gaussian_degree_topology` --
+  configuration-model matchings over fixed or Gaussian-drawn stub
+  counts, projected to a simple graph (collisions dropped, so realized
+  degrees are approximate in the standard way).
+
+All three build through the shared pair-array path of
+:mod:`repro.graph.models.pairs`: CSR-first, streamed above
+``STREAM_NODE_THRESHOLD`` or whenever ``max_pairs`` forces the chunked
+build.
+"""
+
+import numpy as np
+
+from repro.graph.models.pairs import (
+    canonical_pairs,
+    check_count,
+    combinatorial_topology,
+    pair_stubs,
+)
+from repro.graph.models.registry import register_topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+#: Geometric gap draws per batch.  Fixed (never derived from the chunk
+#: budget) so the RNG stream -- and with it the edge set -- is identical
+#: whether the build is streamed or one-shot.
+GAP_BATCH = 65_536
+
+
+def _row_offsets(i, count):
+    """Linear index of the first pair in row ``i`` of the enumeration."""
+    return i * (2 * count - i - 1) // 2
+
+
+def _linear_to_pairs(linear, count):
+    """Strictly increasing linear pair indices -> canonical ``(i, j)``.
+
+    The float solve of the row quadratic lands within one row of the
+    truth; two clamped fixups make it exact (``searchsorted``-free, so
+    the conversion is O(k)).
+    """
+    b = 2.0 * count - 1.0
+    i = np.floor((b - np.sqrt(b * b - 8.0 * linear.astype(np.float64))) / 2.0)
+    i = np.clip(i.astype(np.int64), 0, count - 2)
+    i -= _row_offsets(i, count) > linear
+    i += _row_offsets(i + 1, count) <= linear
+    j = linear - _row_offsets(i, count) + i + 1
+    return np.column_stack((i, j))
+
+
+def _er_pair_chunks(count, p, rng):
+    """Yield the kept G(n, p) pairs as lexicographically increasing
+    chunks (one per gap batch)."""
+    total = count * (count - 1) // 2
+    if total == 0 or p <= 0.0:
+        return
+    if p >= 1.0:
+        for start in range(0, total, GAP_BATCH):
+            stop = min(start + GAP_BATCH, total)
+            yield _linear_to_pairs(np.arange(start, stop, dtype=np.int64), count)
+        return
+    log_skip = np.log1p(-p)
+    position = np.int64(-1)
+    while position < total - 1:
+        draws = rng.random(GAP_BATCH)
+        with np.errstate(divide="ignore"):
+            gaps = np.floor(np.log(draws) / log_skip) + 1.0
+        gaps = np.minimum(gaps, float(total)).astype(np.int64)
+        linear = position + np.cumsum(gaps)
+        position = linear[-1]
+        linear = linear[linear < total]
+        if linear.size:
+            yield _linear_to_pairs(linear, count)
+
+
+@register_topology("erdos_renyi", degree_params=("p",))
+def erdos_renyi_topology(count, p=None, degree=None, rng=None, max_pairs=None):
+    """Erdős–Rényi G(n, p) over ``count`` nodes.
+
+    Exactly one of ``p`` (the link probability) and ``degree`` (the
+    target mean degree, giving ``p = degree / (count - 1)``) must be
+    given.
+    """
+    count = check_count(count, minimum=1)
+    if (p is None) == (degree is None):
+        raise ConfigurationError(
+            "give exactly one of p= (link probability) or degree= "
+            "(target mean degree)"
+        )
+    if p is None:
+        if degree < 0:
+            raise ConfigurationError(f"degree must be non-negative, got {degree}")
+        p = degree / (count - 1) if count > 1 else 0.0
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must lie in [0, 1], got {p}")
+    rng = as_rng(rng)
+    chunks = list(_er_pair_chunks(count, p, rng))
+    pairs = np.concatenate(chunks) if chunks else np.empty((0, 2), dtype=np.int64)
+    return combinatorial_topology(pairs, count, max_pairs=max_pairs)
+
+
+@register_topology("fixed_degree")
+def fixed_degree_topology(count, degree=None, rng=None, max_pairs=None):
+    """A configuration-model graph where every node gets ``degree``
+    stubs (realized degrees are approximate where the matching
+    collides)."""
+    count = check_count(count, minimum=1)
+    if degree is None:
+        raise ConfigurationError("fixed_degree requires degree=")
+    degree = int(round(degree))
+    if not 0 <= degree < max(count, 1):
+        raise ConfigurationError(f"degree must lie in [0, {count}), got {degree}")
+    rng = as_rng(rng)
+    matches = pair_stubs(np.full(count, degree, dtype=np.int64), rng)
+    pairs = canonical_pairs(matches, count, drop_loops=True)
+    return combinatorial_topology(pairs, count, max_pairs=max_pairs)
+
+
+@register_topology("gaussian_degree", degree_params=("avg",))
+def gaussian_degree_topology(
+    count, avg=None, std=None, degree=None, rng=None, max_pairs=None
+):
+    """A configuration-model graph with Gaussian-drawn stub counts.
+
+    ``avg`` (or its alias ``degree``) sets the mean, ``std`` the spread
+    (default ``avg / 4``).  Draws are rounded and clipped to
+    ``[0, count - 1]``.
+    """
+    count = check_count(count, minimum=1)
+    if avg is None:
+        avg = degree
+    elif degree is not None:
+        raise ConfigurationError("give avg= or degree=, not both")
+    if avg is None:
+        raise ConfigurationError("gaussian_degree requires avg= (or degree=)")
+    avg = float(avg)
+    if avg < 0:
+        raise ConfigurationError(f"avg must be non-negative, got {avg}")
+    std = avg / 4.0 if std is None else float(std)
+    if std < 0:
+        raise ConfigurationError(f"std must be non-negative, got {std}")
+    rng = as_rng(rng)
+    draws = np.rint(rng.normal(avg, std, size=count))
+    degrees = np.clip(draws, 0, max(count - 1, 0)).astype(np.int64)
+    matches = pair_stubs(degrees, rng)
+    pairs = canonical_pairs(matches, count, drop_loops=True)
+    return combinatorial_topology(pairs, count, max_pairs=max_pairs)

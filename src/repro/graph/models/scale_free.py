@@ -1,0 +1,84 @@
+"""Barabási–Albert scale-free topologies (preferential attachment).
+
+Each arriving node attaches ``m`` edges to existing nodes with
+probability proportional to their current degree, via the standard
+repeated-endpoints list: sampling a uniform position in the list of all
+edge endpoints *is* degree-proportional sampling, with no per-step
+probability vector.  The per-node rejection loop only re-draws
+collisions, so the build is O(n m) with small constants.
+
+The accumulated edges are canonicalized into the shared lexicographic
+pair-array format and built CSR-first (streamed above
+``STREAM_NODE_THRESHOLD``).
+"""
+
+import numpy as np
+
+from repro.graph.models.pairs import (
+    canonical_pairs,
+    check_count,
+    combinatorial_topology,
+)
+from repro.graph.models.registry import register_topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+
+@register_topology("scale_free", degree_params=("m",))
+def scale_free_topology(count, m=None, degree=None, rng=None, max_pairs=None):
+    """Barabási–Albert graph: ``count`` nodes, ``m`` edges per arrival.
+
+    ``degree`` derives ``m`` as ``round(degree / 2)`` (the mean degree
+    of a BA graph approaches ``2m``).  The first ``m`` nodes seed the
+    process: node ``m`` attaches to all of them (the standard
+    star-seeded construction), later nodes preferentially.
+    """
+    count = check_count(count, minimum=1)
+    if (m is None) == (degree is None):
+        raise ConfigurationError(
+            "give exactly one of m= (edges per arrival) or degree= "
+            "(target mean degree)"
+        )
+    if m is None:
+        m = max(1, int(round(degree / 2.0)))
+    m = int(m)
+    if count and not 1 <= m < max(count, 2):
+        raise ConfigurationError(
+            f"m must lie in [1, {count}) for {count} nodes, got {m}"
+        )
+    rng = as_rng(rng)
+    if count <= m:
+        return combinatorial_topology(
+            np.empty((0, 2), dtype=np.int64), count, max_pairs=max_pairs
+        )
+    sources = []
+    targets = []
+    # Flat array of edge endpoints; sampling a uniform slot is
+    # degree-proportional node sampling.  Grown geometrically so the
+    # append stays amortized O(1) per endpoint.
+    endpoints = np.empty(4 * m * max(count - m, 1), dtype=np.int64)
+    filled = 0
+    attach = list(range(m))
+    for node in range(m, count):
+        sources.extend(attach)
+        targets.extend([node] * len(attach))
+        new = np.array(attach + [node] * len(attach), dtype=np.int64)
+        if filled + len(new) > len(endpoints):
+            endpoints = np.concatenate((endpoints, np.empty_like(endpoints)))
+        endpoints[filled : filled + len(new)] = new
+        filled += len(new)
+        chosen = set()
+        while len(chosen) < m:
+            draws = endpoints[rng.integers(0, filled, size=m - len(chosen))]
+            chosen.update(draws.tolist())
+        attach = sorted(chosen)
+    pairs = canonical_pairs(
+        np.column_stack(
+            (
+                np.array(sources, dtype=np.int64),
+                np.array(targets, dtype=np.int64),
+            )
+        ),
+        count,
+    )
+    return combinatorial_topology(pairs, count, max_pairs=max_pairs)

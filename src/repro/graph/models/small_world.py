@@ -1,0 +1,72 @@
+"""Newman–Watts small-world topologies.
+
+The Newman–Watts variant of the Watts–Strogatz model keeps the ring
+lattice intact (no rewiring, so the graph stays connected) and *adds* a
+random shortcut with probability ``p`` per lattice edge.  Mean degree is
+``2k (1 + p)`` up to shortcut collisions.
+
+Both edge families are generated with bulk array expressions -- the
+lattice as stacked index arithmetic, the shortcut endpoints as one
+vectorized draw per family -- then canonicalized into the shared
+lexicographic pair-array format and built CSR-first (streamed above
+``STREAM_NODE_THRESHOLD``).
+"""
+
+import numpy as np
+
+from repro.graph.models.pairs import (
+    canonical_pairs,
+    check_count,
+    combinatorial_topology,
+)
+from repro.graph.models.registry import register_topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+
+def _lattice_pairs(count, k):
+    """Ring-lattice pairs: each node to its ``k`` clockwise neighbors."""
+    nodes = np.arange(count, dtype=np.int64)
+    left = np.repeat(nodes, k)
+    right = (left + np.tile(np.arange(1, k + 1, dtype=np.int64), count)) % count
+    return np.column_stack((left, right))
+
+
+@register_topology("nw_small_world", degree_params=("k",))
+def nw_small_world_topology(
+    count, k=None, p=0.1, degree=None, rng=None, max_pairs=None
+):
+    """Newman–Watts small-world graph over ``count`` ring nodes.
+
+    ``k`` is the lattice half-degree (neighbors per side); ``degree``
+    derives it as ``round(degree / (2 (1 + p)))`` for a matched mean
+    degree.  ``p`` is the per-lattice-edge shortcut probability.
+    """
+    count = check_count(count, minimum=3)
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must lie in [0, 1], got {p}")
+    if (k is None) == (degree is None):
+        raise ConfigurationError(
+            "give exactly one of k= (lattice half-degree) or degree= "
+            "(target mean degree)"
+        )
+    if k is None:
+        k = max(1, int(round(degree / (2.0 * (1.0 + p)))))
+    k = int(k)
+    if not 1 <= k <= (count - 1) // 2:
+        raise ConfigurationError(
+            f"k must lie in [1, {(count - 1) // 2}] for {count} nodes, "
+            f"got {k}"
+        )
+    rng = as_rng(rng)
+    lattice = _lattice_pairs(count, k)
+    # One shortcut candidate per lattice edge, all drawn in bulk: the
+    # keep mask first, then a uniform far endpoint per kept candidate.
+    keep = rng.random(len(lattice)) < p
+    sources = lattice[keep, 0]
+    targets = rng.integers(0, count, size=len(sources), dtype=np.int64)
+    shortcuts = np.column_stack((sources, targets))
+    shortcuts = shortcuts[sources != targets]
+    pairs = canonical_pairs(np.concatenate((lattice, shortcuts)), count)
+    return combinatorial_topology(pairs, count, max_pairs=max_pairs)

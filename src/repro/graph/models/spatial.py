@@ -1,0 +1,117 @@
+"""Distance-rule topologies: the direct generalization of the unit disk.
+
+The unit-disk model is the step distance rule ``P(link | d) = 1 for
+d <= R, else 0``.  Real radios decay smoothly; the distance-rule
+generator replaces the step with
+
+* ``decay="exp"``: ``P(d) = exp(-d / scale)`` truncated at ``max_dist``
+  (default ``5 * scale``, beyond which links are < 1% likely);
+* ``decay="linear"``: ``P(d) = max(0, 1 - d / scale)`` (``max_dist`` is
+  ``scale``).
+
+Candidate pairs come from the same vectorized cell-grid scan the UDG
+builders use (at range ``max_dist``); the Bernoulli keep decisions are
+drawn in pair order, chunk by chunk, so the streamed build above
+``STREAM_NODE_THRESHOLD`` is bit-identical to the one-shot array path
+(the :mod:`~repro.graph.quasi_udg` argument, verbatim).
+"""
+
+import math
+
+import numpy as np
+
+from repro.graph.generators import Topology
+from repro.graph.geometry import (
+    STREAM_NODE_THRESHOLD,
+    chunk_pairs,
+    pairs_within_range,
+)
+from repro.graph.graph import Graph
+from repro.graph.models.pairs import check_count
+from repro.graph.models.registry import register_topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import as_rng
+
+DECAYS = ("exp", "linear")
+
+#: Exponential truncation: candidates beyond this many decay lengths
+#: are never linked (P < exp(-5) < 0.7%).
+EXP_CUTOFF_SCALES = 5.0
+
+
+def _scale_for_degree(decay, degree, intensity):
+    """The decay length giving expected mean degree ``degree``.
+
+    For a homogeneous process of intensity ``lam`` the expected degree
+    is ``lam * integral P(d) 2 pi d dd``: ``2 pi lam scale^2`` for the
+    exponential rule and ``pi lam scale^2 / 3`` for the linear one
+    (border effects shave a little off, exactly as they do for the
+    unit-disk radius).
+    """
+    if degree <= 0:
+        raise ConfigurationError(f"degree must be positive, got {degree}")
+    if decay == "exp":
+        return math.sqrt(degree / (2.0 * math.pi * intensity))
+    return math.sqrt(3.0 * degree / (math.pi * intensity))
+
+
+def _keep_candidates(positions, candidates, decay, scale, rng):
+    """Filter one candidate chunk by the distance rule, in pair order."""
+    delta = positions[candidates[:, 0]] - positions[candidates[:, 1]]
+    distance = np.hypot(delta[:, 0], delta[:, 1])
+    if decay == "exp":
+        probability = np.exp(-distance / scale)
+    else:
+        probability = np.maximum(0.0, 1.0 - distance / scale)
+    return candidates[rng.random(len(candidates)) < probability]
+
+
+@register_topology("distance_rule", geometric=True, degree_params=("scale",))
+def distance_rule_topology(
+    count,
+    scale=None,
+    decay="exp",
+    degree=None,
+    rng=None,
+    side=1.0,
+    max_pairs=None,
+):
+    """``count`` uniform nodes linked by a decaying distance rule.
+
+    Exactly one of ``scale`` (the decay length) and ``degree`` (the
+    target mean degree, from which the scale is derived) must be given.
+    Returns a geometric :class:`Topology` whose ``radius`` is the
+    truncation range ``max_dist`` (the outer radius, as for quasi-UDG).
+    """
+    count = check_count(count, minimum=1)
+    if decay not in DECAYS:
+        raise ConfigurationError(f"unknown decay {decay!r}; expected one of {DECAYS}")
+    if (scale is None) == (degree is None):
+        raise ConfigurationError(
+            "give exactly one of scale= (decay length) or degree= "
+            "(target mean degree)"
+        )
+    rng = as_rng(rng)
+    if scale is None:
+        scale = _scale_for_degree(decay, degree, count / (side * side))
+    scale = float(scale)
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    max_dist = scale if decay == "linear" else EXP_CUTOFF_SCALES * scale
+    positions = rng.uniform(0.0, side, size=(count, 2))
+    if max_pairs is None and count < STREAM_NODE_THRESHOLD:
+        candidates = pairs_within_range(positions, max_dist)
+        if len(candidates):
+            candidates = _keep_candidates(positions, candidates, decay, scale, rng)
+        graph = Graph.from_pair_array(candidates, count)
+    else:
+        kept = (
+            _keep_candidates(positions, chunk, decay, scale, rng)
+            for chunk in chunk_pairs(positions, max_dist, max_pairs=max_pairs)
+        )
+        graph = Graph.from_pair_chunks(kept, count)
+    names = graph.nodes
+    positions_by_id = {
+        names[i]: (row[0], row[1]) for i, row in enumerate(positions.tolist())
+    }
+    return Topology(graph, positions=positions_by_id, radius=max_dist)

@@ -43,6 +43,11 @@ class ChurnProcess:
         if arrival_rate < 0:
             raise ConfigurationError(
                 f"arrival_rate must be non-negative, got {arrival_rate}")
+        if radius is None:
+            raise ConfigurationError(
+                "churn maintenance needs a transmission radius; got "
+                "radius=None (combinatorial topologies have no geometry "
+                "to place arrivals in)")
         self.radius = float(radius)
         self.leave_probability = float(leave_probability)
         self.arrival_rate = float(arrival_rate)

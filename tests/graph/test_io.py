@@ -1,0 +1,165 @@
+"""Round-trip tests for graph I/O (edge list and GML)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import Topology, figure1_topology, uniform_topology
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    FORMATS,
+    file_topology,
+    infer_format,
+    load_graph,
+    save_graph,
+)
+from repro.graph.models import build_topology_spec
+from repro.util.errors import ConfigurationError
+
+
+def sparse_topology():
+    """Isolated node, non-contiguous integer ids, explicit tie-breaks."""
+    graph = Graph(nodes=[10, 55, 7, 999], edges=[(55, 7)])
+    return Topology(graph, ids={10: 3, 55: 0, 7: 2, 999: 1})
+
+
+def assert_round_trip(topology, path):
+    loaded = load_graph(path)
+    left, right = topology.graph.to_csr(), loaded.graph.to_csr()
+    np.testing.assert_array_equal(left.indptr, right.indptr)
+    np.testing.assert_array_equal(left.indices, right.indices)
+    np.testing.assert_array_equal(left.ids, right.ids)
+    assert loaded.ids == topology.ids
+    assert loaded.positions == topology.positions
+    assert loaded.radius == topology.radius
+    return loaded
+
+
+@pytest.mark.parametrize("format", FORMATS)
+class TestRoundTrip:
+    def test_geometric_uniform(self, tmp_path, format):
+        topology = uniform_topology(30, 0.2, rng=4)
+        path = tmp_path / f"uniform.{format}"
+        save_graph(topology, path, format=format)
+        assert_round_trip(topology, path)
+
+    def test_string_node_labels(self, tmp_path, format):
+        topology = figure1_topology()
+        path = tmp_path / f"fig1.{format}"
+        save_graph(topology, path, format=format)
+        loaded = assert_round_trip(topology, path)
+        assert set(loaded.graph.nodes) == set("abcdefhij")
+
+    def test_isolated_nodes_and_noncontiguous_ids(self, tmp_path, format):
+        topology = sparse_topology()
+        path = tmp_path / f"sparse.{format}"
+        save_graph(topology, path, format=format)
+        loaded = assert_round_trip(topology, path)
+        assert loaded.graph.degree(999) == 0
+        assert loaded.ids[55] == 0
+
+    def test_save_load_save_is_stable(self, tmp_path, format):
+        topology = uniform_topology(20, 0.25, rng=9)
+        first = tmp_path / f"a.{format}"
+        second = tmp_path / f"b.{format}"
+        save_graph(topology, first, format=format)
+        save_graph(load_graph(first), second, format=format)
+        assert first.read_text() == second.read_text()
+
+    def test_combinatorial_graph_without_geometry(self, tmp_path, format):
+        topology = build_topology_spec("erdos_renyi:count=40,degree=4,seed=2")
+        path = tmp_path / f"er.{format}"
+        save_graph(topology, path, format=format)
+        loaded = assert_round_trip(topology, path)
+        assert loaded.positions == {}
+        assert loaded.radius is None
+
+
+class TestFormatInference:
+    def test_extension_mapping(self):
+        assert infer_format("trace.edges") == "edges"
+        assert infer_format("trace.txt") == "edges"
+        assert infer_format("trace.gml") == "gml"
+        assert infer_format("TRACE.GML") == "gml"
+
+    def test_explicit_format_wins(self):
+        assert infer_format("trace.gml", format="edges") == "edges"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            infer_format("trace.gml", format="graphml")
+
+    def test_uninferrable_extension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            infer_format("trace.dat")
+
+
+class TestFileTopology:
+    def test_loads_through_registry(self, tmp_path):
+        topology = uniform_topology(15, 0.3, rng=1)
+        path = tmp_path / "t.gml"
+        save_graph(topology, path)
+        via_spec = build_topology_spec(f"file:{path}")
+        assert set(via_spec.graph.edges) == set(topology.graph.edges)
+        assert via_spec.spec.name == "file"
+
+    def test_missing_path_parameter(self):
+        with pytest.raises(ConfigurationError, match="path="):
+            file_topology()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            file_topology(path=str(tmp_path / "nope.gml"))
+
+
+class TestMalformedFiles:
+    def test_edge_list_without_magic(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1\n")
+        with pytest.raises(ConfigurationError, match="header"):
+            load_graph(path)
+
+    def test_edge_list_node_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("# repro edge list v1\n# nodes 2\na 0\n# edges 0\n")
+        with pytest.raises(ConfigurationError, match="declares 2 nodes"):
+            load_graph(path)
+
+    def test_edge_list_duplicate_node(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text(
+            "# repro edge list v1\n# nodes 2\na 0\na 1\n# edges 0\n")
+        with pytest.raises(ConfigurationError, match="repeats"):
+            load_graph(path)
+
+    def test_gml_without_graph_block(self, tmp_path):
+        path = tmp_path / "bad.gml"
+        path.write_text("Creator \"nobody\"\n")
+        with pytest.raises(ConfigurationError, match="graph block"):
+            load_graph(path)
+
+    def test_gml_edge_to_unknown_node(self, tmp_path):
+        path = tmp_path / "bad.gml"
+        path.write_text(
+            "graph [\n  node [ id 0 ]\n"
+            "  edge [ source 0 target 7 ]\n]\n")
+        with pytest.raises(ConfigurationError, match="unknown node id"):
+            load_graph(path)
+
+
+class TestForeignGml:
+    def test_minimal_third_party_gml(self, tmp_path):
+        # No labels, no ties, unknown attributes: the interchange case.
+        path = tmp_path / "foreign.gml"
+        path.write_text(
+            "# exported elsewhere\n"
+            "graph [\n"
+            "  directed 0\n"
+            "  comment \"two nodes one edge\"\n"
+            "  node [ id 4 value 1.5 ]\n"
+            "  node [ id 9 ]\n"
+            "  edge [ source 4 target 9 weight 2 ]\n"
+            "]\n")
+        topology = load_graph(path)
+        assert set(topology.graph.nodes) == {4, 9}
+        assert topology.graph.degree(4) == 1
+        assert topology.ids == {4: 0, 9: 1}  # file-order tie default
